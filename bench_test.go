@@ -1,0 +1,171 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablation benches for the design choices DESIGN.md calls
+// out and micro-benchmarks of the hot substrates.
+//
+// The per-figure benchmarks run the same experiment code as cmd/mmbench at
+// a reduced default scale so `go test -bench=.` finishes in minutes; run
+// `go run ./cmd/mmbench -exp all -paper` for paper-scale output.
+package repro_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// benchOpts returns reduced-scale options so the full bench suite stays
+// fast while exercising every real code path.
+func benchOpts(b *testing.B) experiments.Opts {
+	o := experiments.Default()
+	o.Scale = 0.02
+	o.Runs = 1
+	o.Nodes = 2
+	o.U3PerPhase = 2
+	o.Archs = []string{models.MobileNetV2Name}
+	o.TrainEpochs = 1
+	o.TrainBatches = 1
+	o.BatchSize = 2
+	o.Resolution = 16
+	o.WorkDir = b.TempDir()
+	return o
+}
+
+func benchExperiment(b *testing.B, fn experiments.Func) {
+	b.Helper()
+	o := benchOpts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per table and figure ---
+
+func BenchmarkTable1Datasets(b *testing.B)           { benchExperiment(b, experiments.Table1) }
+func BenchmarkTable2Models(b *testing.B)             { benchExperiment(b, experiments.Table2) }
+func BenchmarkTable3Flows(b *testing.B)              { benchExperiment(b, experiments.Table3) }
+func BenchmarkFigure2DotProduct(b *testing.B)        { benchExperiment(b, experiments.Figure2) }
+func BenchmarkFigure4Merkle(b *testing.B)            { benchExperiment(b, experiments.Figure4) }
+func BenchmarkFigure7Storage(b *testing.B)           { benchExperiment(b, experiments.Figure7) }
+func BenchmarkFigure8BaselineStorage(b *testing.B)   { benchExperiment(b, experiments.Figure8) }
+func BenchmarkFigure9ProvenanceStorage(b *testing.B) { benchExperiment(b, experiments.Figure9) }
+func BenchmarkFigure10TTS(b *testing.B)              { benchExperiment(b, experiments.Figure10) }
+func BenchmarkFigure11TTR(b *testing.B)              { benchExperiment(b, experiments.Figure11) }
+func BenchmarkFigure12RecoverBreakdown(b *testing.B) { benchExperiment(b, experiments.Figure12) }
+func BenchmarkFigure13Deterministic(b *testing.B)    { benchExperiment(b, experiments.Figure13) }
+func BenchmarkFigure14DistTTS(b *testing.B)          { benchExperiment(b, experiments.Figure14) }
+func BenchmarkFigure15DistTTR(b *testing.B)          { benchExperiment(b, experiments.Figure15) }
+
+// --- Ablation benches (DESIGN.md section 4) ---
+
+func BenchmarkAblationMerkleVsNaive(b *testing.B) { benchExperiment(b, experiments.AblationMerkle) }
+func BenchmarkAblationChecksums(b *testing.B)     { benchExperiment(b, experiments.AblationChecksums) }
+func BenchmarkAblationDatasetRef(b *testing.B)    { benchExperiment(b, experiments.AblationDatasetRef) }
+func BenchmarkAblationAdaptive(b *testing.B)      { benchExperiment(b, experiments.AblationAdaptive) }
+func BenchmarkAblationBandwidth(b *testing.B)     { benchExperiment(b, experiments.AblationBandwidth) }
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkDotDeterministic(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Uniform(rng, -1, 1, 1<<20)
+	y := tensor.Uniform(rng, -1, 1, 1<<20)
+	b.SetBytes(int64(8 * x.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Dot(x, y, tensor.Deterministic)
+	}
+}
+
+func BenchmarkDotParallel(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Uniform(rng, -1, 1, 1<<20)
+	y := tensor.Uniform(rng, -1, 1, 1<<20)
+	b.SetBytes(int64(8 * x.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Dot(x, y, tensor.Parallel)
+	}
+}
+
+func BenchmarkStateDictSerialize(b *testing.B) {
+	m, err := models.New(models.MobileNetV2Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := nn.StateDictOf(m)
+	b.SetBytes(sd.SerializedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := sd.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateDictHash(b *testing.B) {
+	m, err := models.New(models.MobileNetV2Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := nn.StateDictOf(m)
+	b.SetBytes(sd.SerializedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.Hash()
+	}
+}
+
+func BenchmarkLayerHashes(b *testing.B) {
+	m, err := models.New(models.MobileNetV2Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := nn.StateDictOf(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.LayerHashes()
+	}
+}
+
+func BenchmarkModelForward32(b *testing.B) {
+	m, err := models.New(models.MobileNetV2Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.Uniform(tensor.NewRNG(2), 0, 1, 1, 3, 32, 32)
+	ctx := nn.Eval()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(ctx, x)
+	}
+}
+
+func BenchmarkGoogLeNetInstantiate(b *testing.B) {
+	// The expensive constructor behind Figure 12's GoogLeNet peak.
+	spec := models.Spec{Arch: models.GoogLeNetName, NumClasses: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := models.Instantiate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResNet18Instantiate(b *testing.B) {
+	spec := models.Spec{Arch: models.ResNet18Name, NumClasses: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := models.Instantiate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

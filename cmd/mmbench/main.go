@@ -1,0 +1,84 @@
+// Command mmbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	mmbench -exp fig7              # one experiment at default (fast) scale
+//	mmbench -exp all -paper        # everything at paper scale (slow)
+//	mmbench -list                  # list experiment identifiers
+//
+// Experiment identifiers follow the per-experiment index in DESIGN.md
+// (tab1..tab3, fig2..fig15, abl-*).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list   = flag.Bool("list", false, "list experiment identifiers and exit")
+		paper  = flag.Bool("paper", false, "run at paper scale (full dataset sizes, 5-run medians, DIST-20)")
+		scale  = flag.Float64("scale", 0, "override dataset scale (1.0 = Table 1 sizes)")
+		runs   = flag.Int("runs", 0, "override repetitions for medians")
+		nodes  = flag.Int("nodes", 0, "override node count for distributed flows")
+		u3     = flag.Int("u3", 0, "override U3 iterations per phase for distributed flows")
+		archs  = flag.String("archs", "", "comma-separated architecture override (e.g. mobilenetv2,resnet152)")
+		outdir = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Order() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Default()
+	if *paper {
+		opts = experiments.Paper()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *nodes > 0 {
+		opts.Nodes = *nodes
+	}
+	if *u3 > 0 {
+		opts.U3PerPhase = *u3
+	}
+	if *archs != "" {
+		opts.Archs = strings.Split(*archs, ",")
+	}
+	opts.WorkDir = *outdir
+
+	reg := experiments.Registry()
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.Order()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if _, ok := reg[id]; !ok {
+				fmt.Fprintf(os.Stderr, "mmbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		if err := reg[id](os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "mmbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

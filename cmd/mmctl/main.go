@@ -1,0 +1,184 @@
+// Command mmctl manages a model store: list saved models, inspect lineage,
+// delete models, collect garbage, and recover a model's parameters to a
+// file — the operational surface of the paper's central server (use case
+// U4: "the server has to monitor every model that exists and has to be able
+// to losslessly recover it when requested").
+//
+// Usage:
+//
+//	mmctl -store /var/mmlib list
+//	mmctl -store /var/mmlib lineage <model-id>
+//	mmctl -store /var/mmlib children <model-id>
+//	mmctl -store /var/mmlib stats
+//	mmctl -store /var/mmlib [-force] delete <model-id>
+//	mmctl -store /var/mmlib gc
+//	mmctl -store /var/mmlib -out params.mmsd recover <model-id>
+//
+// With -db addr the metadata comes from a running mmserver instead of the
+// local store directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/docdb"
+	"repro/internal/filestore"
+	"repro/internal/nn"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "store directory (contains meta/ and files/)")
+		dbAddr   = flag.String("db", "", "metadata server address (overrides -store/meta)")
+		out      = flag.String("out", "", "output file for 'recover'")
+		force    = flag.Bool("force", false, "force deletion even when other models depend on the target")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *storeDir == "" || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmctl -store DIR [flags] {list|lineage|children|stats|delete|gc|recover} [id]")
+		os.Exit(2)
+	}
+
+	stores, cleanup, err := openStores(*storeDir, *dbAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+	cat := catalog.New(stores)
+
+	switch cmd := args[0]; cmd {
+	case "list":
+		entries, err := cat.List()
+		if err != nil {
+			fatal(err)
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "ID\tAPPROACH\tKIND\tBASE\tSTORAGE")
+		for _, e := range entries {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d B\n", e.ID, e.Approach, e.Kind, short(e.BaseID), e.StorageBytes)
+		}
+		tw.Flush()
+
+	case "lineage":
+		id := need(args, "lineage")
+		chain, err := cat.Chain(id)
+		if err != nil {
+			fatal(err)
+		}
+		for i, e := range chain {
+			indent := ""
+			for j := 0; j < i; j++ {
+				indent += "  "
+			}
+			fmt.Printf("%s%s (%s, %s, %d B)\n", indent, e.ID, e.Approach, e.Kind, e.StorageBytes)
+		}
+
+	case "children":
+		id := need(args, "children")
+		kids, err := cat.Children(id)
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range kids {
+			fmt.Println(k)
+		}
+
+	case "stats":
+		st, err := cat.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("models: %d (snapshots %d, updates %d, provenance %d)\n",
+			st.Models, st.Snapshots, st.Updates, st.Provenance)
+		fmt.Printf("storage: %d B; unreachable blobs: %d\n", st.TotalBytes, st.Unreachable)
+
+	case "delete":
+		id := need(args, "delete")
+		if err := cat.Delete(id, *force); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted %s\n", id)
+
+	case "gc":
+		blobs, bytes, err := cat.CollectGarbage()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reclaimed %d blob(s), %d B\n", blobs, bytes)
+
+	case "recover":
+		id := need(args, "recover")
+		if *out == "" {
+			fatal(fmt.Errorf("recover needs -out FILE"))
+		}
+		// The adaptive service recovers any chain regardless of the
+		// approaches its links were saved with.
+		svc := core.NewAdaptive(stores)
+		rec, err := svc.Recover(id, core.RecoverOptions{VerifyChecksums: true})
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		n, err := nn.StateDictOf(rec.Net).WriteTo(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recovered %s (%s, %d classes): %d B of parameters -> %s (ttr %s)\n",
+			id, rec.Spec.Arch, rec.Spec.NumClasses, n, *out, rec.Timing.Total())
+
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func openStores(dir, dbAddr string) (core.Stores, func(), error) {
+	files, err := filestore.Open(filepath.Join(dir, "files"))
+	if err != nil {
+		return core.Stores{}, nil, err
+	}
+	if dbAddr != "" {
+		client, err := docdb.Dial(dbAddr)
+		if err != nil {
+			return core.Stores{}, nil, err
+		}
+		return core.Stores{Meta: client, Files: files}, func() { client.Close() }, nil
+	}
+	meta, err := docdb.OpenDisk(filepath.Join(dir, "meta"))
+	if err != nil {
+		return core.Stores{}, nil, err
+	}
+	return core.Stores{Meta: meta, Files: files}, func() {}, nil
+}
+
+func need(args []string, cmd string) string {
+	if len(args) < 2 {
+		fatal(fmt.Errorf("%s needs a model id", cmd))
+	}
+	return args[1]
+}
+
+func short(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	if id == "" {
+		return "-"
+	}
+	return id
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mmctl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command mmprobe is the model verification probing tool (paper Section
+// 2.4): it executes a model's forward and backward pass on fixed probe data
+// and compares layer-wise fingerprints, either between two runs on this
+// machine or against a summary saved on another machine.
+//
+// Usage:
+//
+//	mmprobe -model resnet18                     # verify reproducibility here
+//	mmprobe -model resnet18 -save probe.json    # record a summary
+//	mmprobe -model resnet18 -compare probe.json # verify against a recording
+//	mmprobe -model resnet18 -parallel           # demonstrate non-determinism
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/models"
+	"repro/internal/probe"
+)
+
+func main() {
+	var (
+		arch     = flag.String("model", models.ResNet18Name, "architecture to probe")
+		classes  = flag.Int("classes", 1000, "number of classes")
+		seed     = flag.Uint64("seed", 1, "model initialization and probe seed")
+		savePath = flag.String("save", "", "write the probe summary to this file")
+		cmpPath  = flag.String("compare", "", "compare against a summary file (e.g. recorded on another machine)")
+		parallel = flag.Bool("parallel", false, "probe in non-deterministic parallel mode")
+		res      = flag.Int("res", 32, "probe input resolution")
+	)
+	flag.Parse()
+
+	net, err := models.New(*arch, *classes, *seed)
+	if err != nil {
+		log.Fatalf("mmprobe: %v", err)
+	}
+	cfg := probe.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Classes = *classes
+	cfg.H, cfg.W = *res, *res
+	cfg.Deterministic = !*parallel
+
+	switch {
+	case *savePath != "":
+		s, err := probe.Run(net, cfg)
+		if err != nil {
+			log.Fatalf("mmprobe: %v", err)
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatalf("mmprobe: %v", err)
+		}
+		defer f.Close()
+		if err := s.Save(f); err != nil {
+			log.Fatalf("mmprobe: %v", err)
+		}
+		fmt.Printf("probe summary for %s written to %s\n", *arch, *savePath)
+
+	case *cmpPath != "":
+		f, err := os.Open(*cmpPath)
+		if err != nil {
+			log.Fatalf("mmprobe: %v", err)
+		}
+		recorded, err := probe.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("mmprobe: %v", err)
+		}
+		current, err := probe.Run(net, recorded.Config)
+		if err != nil {
+			log.Fatalf("mmprobe: %v", err)
+		}
+		diffs := probe.Compare(recorded, current)
+		if len(diffs) == 0 {
+			fmt.Printf("%s: reproducible — current run matches %s exactly\n", *arch, *cmpPath)
+			return
+		}
+		fmt.Printf("%s: NOT reproducible against %s — %d difference(s):\n", *arch, *cmpPath, len(diffs))
+		for _, d := range diffs {
+			fmt.Printf("  %s\n", d)
+		}
+		os.Exit(1)
+
+	default:
+		ok, diffs, err := probe.Verify(net, cfg)
+		if err != nil {
+			log.Fatalf("mmprobe: %v", err)
+		}
+		if ok {
+			fmt.Printf("%s: inference and training are reproducible in this setup (mode: %s)\n", *arch, mode(cfg))
+			return
+		}
+		fmt.Printf("%s: NOT reproducible (mode: %s) — %d layer-wise difference(s):\n", *arch, mode(cfg), len(diffs))
+		for i, d := range diffs {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more\n", len(diffs)-10)
+				break
+			}
+			fmt.Printf("  %s\n", d)
+		}
+		os.Exit(1)
+	}
+}
+
+func mode(cfg probe.Config) string {
+	if cfg.Deterministic {
+		return "deterministic"
+	}
+	return "parallel"
+}

@@ -1,0 +1,61 @@
+// Command mmserver runs the metadata document-database server — the role
+// MongoDB plays on its dedicated machine in the paper's evaluation setup.
+// Nodes and servers connect with mmlib.ConnectStores.
+//
+// Usage:
+//
+//	mmserver -addr :7070 -data /var/mmlib/meta
+//
+// With -data the store persists JSON documents on disk; without it the
+// server keeps everything in memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/docdb"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7070", "listen address")
+		data = flag.String("data", "", "persistence directory (empty = in-memory)")
+	)
+	flag.Parse()
+
+	var backend docdb.Store
+	if *data == "" {
+		backend = docdb.NewMemStore()
+	} else {
+		disk, err := docdb.OpenDisk(*data)
+		if err != nil {
+			log.Fatalf("mmserver: %v", err)
+		}
+		backend = disk
+	}
+	srv, err := docdb.NewServer(backend, *addr)
+	if err != nil {
+		log.Fatalf("mmserver: %v", err)
+	}
+	fmt.Printf("mmserver listening on %s (persistence: %s)\n", srv.Addr(), orMem(*data))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mmserver: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("mmserver: close: %v", err)
+	}
+}
+
+func orMem(s string) string {
+	if s == "" {
+		return "in-memory"
+	}
+	return s
+}

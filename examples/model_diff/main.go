@@ -1,0 +1,80 @@
+// Model diff: inspect which layers changed between two model versions the
+// way the parameter update approach does — per-layer hashes organized in a
+// Merkle tree, compared top-down so unchanged subtrees are pruned (paper
+// Section 3.2, Figure 4).
+//
+//	go run ./examples/model_diff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/merkle"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/mmlib"
+)
+
+func main() {
+	// Base model and a partially updated version (classifier retrained).
+	base, err := mmlib.BuildModel(mmlib.ResNet18, 1000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseHashes := nn.StateDictOf(base).LayerHashes()
+
+	derived, err := mmlib.BuildModel(mmlib.ResNet18, 1000, 42) // same seed = same weights
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Simulate a partial update: only the final classifier changes.
+	for _, p := range nn.NamedParams(derived) {
+		if nn.LayerOf(p.Path) == models.ClassifierPrefix(mmlib.ResNet18) {
+			d := p.Param.Value.Data()
+			for i := range d {
+				d[i] += 0.01
+			}
+		}
+	}
+	derivedHashes := nn.StateDictOf(derived).LayerHashes()
+
+	toLeaves := func(hs []nn.KeyHash) []merkle.Leaf {
+		out := make([]merkle.Leaf, len(hs))
+		for i, h := range hs {
+			out[i] = merkle.Leaf{Name: h.Key, Hash: h.Hash}
+		}
+		return out
+	}
+	baseTree, err := merkle.Build(toLeaves(baseHashes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	derivedTree, err := merkle.Build(toLeaves(derivedHashes))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model: %s — %d layers carrying state\n", mmlib.ResNet18, baseTree.NumLeaves())
+	fmt.Printf("root hashes: base=%s… derived=%s…\n", baseTree.Root()[:12], derivedTree.Root()[:12])
+	if baseTree.Root() == derivedTree.Root() {
+		fmt.Println("models are identical (single root comparison)")
+		return
+	}
+
+	res, err := merkle.Diff(baseTree, derivedTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("changed layers (found with %d node comparisons instead of %d leaf comparisons):\n",
+		res.Comparisons, baseTree.NumLeaves())
+	for _, name := range res.Changed {
+		fmt.Printf("  %s\n", name)
+	}
+
+	// The parameter update the PUA would store: just those layers.
+	update := nn.StateDictOf(derived).SubsetByLayers(res.Changed)
+	full := nn.StateDictOf(derived)
+	fmt.Printf("parameter update: %d of %d tensors, %.1f%% of the full snapshot bytes\n",
+		update.Len(), full.Len(), 100*float64(update.SerializedSize())/float64(full.SerializedSize()))
+}

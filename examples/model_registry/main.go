@@ -1,0 +1,139 @@
+// Model registry operations: the central server's view of the fleet (use
+// case U4). A mixed history of models is saved with the adaptive approach
+// and a shared dataset warehouse; the catalog then lists them, walks
+// lineage, reports statistics, prunes an obsolete branch, and garbage
+// collects the artifacts it left behind.
+//
+//	go run ./examples/model_registry
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/mmlib"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mmlib-registry-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	stores, err := mmlib.OpenLocalStores(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := mmlib.NewDatasetManager(filepath.Join(dir, "warehouse"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := mmlib.NewProvenanceWithManager(stores, mgr)
+	pua := mmlib.NewParamUpdate(stores)
+
+	// The shared training dataset lives in the warehouse, stored once.
+	ds, err := mmlib.GenerateDataset(mmlib.DatasetSpec{
+		Name: "fleet-telemetry", Images: 48, H: 16, W: 16, Classes: 6, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := mmlib.Spec{Arch: mmlib.TinyCNN, NumClasses: 6}
+	net, err := mmlib.BuildModel(mmlib.TinyCNN, 6, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u1, err := pua.Save(mmlib.SaveInfo{Spec: spec, Net: net, WithChecksums: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three provenance generations, all referencing the warehouse dataset.
+	lastID := u1.ID
+	for gen := 0; gen < 3; gen++ {
+		ref, dedup, err := mgr.Publish(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tsvc, err := mmlib.NewTrainService(ds,
+			mmlib.LoaderConfig{BatchSize: 8, OutH: 16, OutW: 16, Shuffle: true, Seed: uint64(gen)},
+			mmlib.SGDConfig{LR: 0.05, Momentum: 0.9},
+			mmlib.ServiceConfig{Epochs: 1, Seed: uint64(10 + gen), Deterministic: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := mmlib.NewProvenanceRecord(tsvc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := rec.Train(net); err != nil {
+			log.Fatal(err)
+		}
+		rec.SetExternalDatasetRef(ref)
+		res, err := svc.Save(mmlib.SaveInfo{Spec: spec, Net: net, BaseID: lastID, WithChecksums: true, Provenance: rec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastID = res.ID
+		fmt.Printf("generation %d saved: %s (%5d B, dataset dedup=%v)\n", gen+1, res.ID[:8], res.StorageBytes, dedup)
+	}
+
+	// The server's catalog view.
+	cat := mmlib.NewCatalog(stores)
+	st, err := cat.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d models (%d snapshots, %d provenance), %d B model storage\n",
+		st.Models, st.Snapshots, st.Provenance, st.TotalBytes)
+	wst := mgr.Stats()
+	fmt.Printf("warehouse: %d dataset(s), %d refs, %d B stored, %d B saved by dedup\n",
+		wst.Datasets, wst.TotalRefs, wst.TotalBytes, wst.DedupSavedBytes)
+
+	chain, err := cat.Chain(lastID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lineage of the newest model:")
+	for _, e := range chain {
+		fmt.Printf("  %s (%s, %s)\n", e.ID[:8], e.Approach, e.Kind)
+	}
+
+	// Recover through the adaptive service (handles mixed chains and
+	// resolves warehouse dataset references).
+	got, err := mmlib.NewAdaptiveWithManager(stores, mgr).Recover(lastID, mmlib.RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !mmlib.ModelEqual(net, got.Net) {
+		log.Fatal("recovered model differs")
+	}
+	fmt.Printf("newest model recovered exactly in %s\n", got.Timing.Total().Round(1e6))
+
+	// Prune the newest model (leaf), drop its warehouse reference, and
+	// collect garbage.
+	if err := cat.Delete(lastID, false); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Release(mustRef(mgr)); err != nil {
+		log.Fatal(err)
+	}
+	blobs, bytes, err := cat.CollectGarbage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pruned newest model; gc reclaimed %d blob(s), %d B\n", blobs, bytes)
+}
+
+// mustRef returns the single warehouse reference (the example publishes one
+// dataset).
+func mustRef(mgr *mmlib.DatasetManager) string {
+	infos := mgr.List()
+	if len(infos) != 1 {
+		log.Fatalf("expected 1 warehouse dataset, have %d", len(infos))
+	}
+	return infos[0].Ref
+}

@@ -1,0 +1,102 @@
+// Provenance training: the model provenance approach end to end. A model's
+// reproducibility is first verified with the probing tool (paper Section
+// 2.4); a derived version is then saved as provenance only — training
+// service, optimizer state, compressed dataset — with no parameters at all;
+// finally the model is recovered by re-executing the training and checked
+// to be bit-identical.
+//
+//	go run ./examples/provenance_training
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/mmlib"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mmlib-prov-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	stores, err := mmlib.OpenLocalStores(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpa := mmlib.NewProvenance(stores)
+
+	// Step 1: verify that the model is reproducible in this setup — a
+	// precondition for recovering it by retraining. Probing in parallel
+	// (non-deterministic) mode shows why deterministic mode matters.
+	net, err := mmlib.BuildModel(mmlib.TinyCNN, 10, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mmlib.ProbeConfig{Seed: 1, BatchSize: 4, H: 24, W: 24, Classes: 10, Deterministic: true}
+	ok, diffs, err := mmlib.VerifyReproducible(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probe (deterministic mode): reproducible=%v, differences=%d\n", ok, len(diffs))
+	if !ok {
+		log.Fatal("model must be reproducible for the provenance approach")
+	}
+
+	// Step 2: save the initial model (full snapshot — MPA uses the
+	// baseline logic for the first model).
+	spec := mmlib.Spec{Arch: mmlib.TinyCNN, NumClasses: 10}
+	u1, err := mpa.Save(mmlib.SaveInfo{Spec: spec, Net: net, WithChecksums: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: train a derived version and save only its provenance.
+	ds, err := mmlib.GenerateDataset(mmlib.DatasetSpec{
+		Name: "prov-data", Images: 48, H: 24, W: 24, Classes: 10, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tsvc, err := mmlib.NewTrainService(ds,
+		mmlib.LoaderConfig{BatchSize: 8, OutH: 24, OutW: 24, Shuffle: true, Seed: 12},
+		mmlib.SGDConfig{LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4},
+		mmlib.ServiceConfig{Epochs: 3, Seed: 13, Deterministic: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := mmlib.NewProvenanceRecord(tsvc) // snapshots pre-training state
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := rec.Train(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d batches (final loss %.4f) in %s\n",
+		stats.Batches, stats.FinalLoss, stats.TotalTime().Round(1e6))
+
+	u3, err := mpa.Save(mmlib.SaveInfo{
+		Spec: spec, Net: net, BaseID: u1.ID, WithChecksums: true, Provenance: rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provenance save: %d B (dataset archive dominates; no parameters stored)\n", u3.StorageBytes)
+
+	// Step 4: recover by re-executing the training; checksum verification
+	// proves the reproduced model is the exact one that was saved.
+	got, err := mpa.Recover(u3.ID, mmlib.RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !mmlib.ModelEqual(net, got.Net) {
+		log.Fatal("recovered model differs")
+	}
+	fmt.Printf("recovered by retraining in %s — bit-identical (checksum verified ✓)\n",
+		got.Timing.Total().Round(1e6))
+	fmt.Printf("  breakdown: load=%s retrain=%s verify=%s\n",
+		got.Timing.Load.Round(1e5), got.Timing.Recover.Round(1e5), got.Timing.Verify.Round(1e5))
+}

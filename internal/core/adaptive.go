@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// Adaptive is the heuristic approach sketched in the paper's discussion
+// (Section 4.7, "Adaptive Approach"): per saved model it picks whichever of
+// BA, PUA, and MPA is expected to consume the least storage. The heuristic
+// follows the paper's observation that "the BA and the PUA mainly depend on
+// the model parameters, whereas the MPA primarily depends on the dataset":
+//
+//   - no base model            → full snapshot (BA logic, via PUA so layer
+//     hashes exist for future updates)
+//   - provenance available and dataset smaller than the trainable
+//     parameters → MPA
+//   - otherwise                → PUA
+//
+// Recovery dispatches on the approach recorded in the model's document, so
+// chains may freely mix approaches.
+type Adaptive struct {
+	stores Stores
+	pua    *ParamUpdate
+	mpa    *Provenance
+}
+
+// NewAdaptive creates an adaptive save service.
+func NewAdaptive(stores Stores) *Adaptive {
+	return &Adaptive{stores: stores, pua: NewParamUpdate(stores), mpa: NewProvenance(stores)}
+}
+
+var _ SaveService = (*Adaptive)(nil)
+
+// Approach implements SaveService.
+func (a *Adaptive) Approach() string { return "adaptive" }
+
+// SetDatasetResolver wires an external dataset manager into the underlying
+// provenance service: derived saves then store dataset references from
+// ProvenanceRecord.SetExternalDatasetRef, and recovery resolves them
+// through fn.
+func (a *Adaptive) SetDatasetResolver(fn func(ref string) (*dataset.Dataset, error)) {
+	a.mpa.DatasetByReference = true
+	a.mpa.ResolveDataset = fn
+}
+
+// Save implements SaveService by delegating to the approach the heuristic
+// selects. Every save also records the layer hashes the PUA needs, so any
+// later save can still choose the PUA against this base.
+func (a *Adaptive) Save(info SaveInfo) (SaveResult, error) {
+	if info.BaseID == "" {
+		return a.pua.Save(info)
+	}
+	if info.Provenance != nil && info.Provenance.ds != nil {
+		datasetBytes := info.Provenance.ds.Spec.SizeBytes()
+		trainableBytes := int64(nn.NumTrainableParams(info.Net)) * 4
+		if datasetBytes < trainableBytes {
+			// MPA wins on storage, but the next derived save may still use
+			// the PUA: it needs this model's layer hashes, which MPA does
+			// not store. Record them additionally.
+			start := time.Now()
+			res, err := a.mpa.Save(info)
+			if err != nil {
+				return res, err
+			}
+			hashID, hashSize, err := saveLayerHashes(a.stores.Meta, nn.StateDictOf(info.Net).LayerHashes())
+			if err != nil {
+				return res, err
+			}
+			raw, err := a.stores.Meta.Get(ColModels, res.ID)
+			if err != nil {
+				return res, err
+			}
+			raw["hash_doc_id"] = hashID
+			if err := a.stores.Meta.Put(ColModels, res.ID, raw); err != nil {
+				return res, err
+			}
+			res.MetaBytes += hashSize
+			res.StorageBytes += hashSize
+			res.Duration = time.Since(start)
+			return res, nil
+		}
+	}
+	return a.pua.Save(info)
+}
+
+// Recover implements SaveService. Because the adaptive approach may mix
+// approaches along one derivation chain, it recovers recursively and applies
+// each link according to how that link was saved: full snapshots anchor the
+// recursion, parameter-update links merge their changed layers into the
+// recovered base, and provenance links re-execute their recorded training.
+func (a *Adaptive) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	doc, err := getModelDoc(a.stores.Meta, id)
+	if err != nil {
+		return nil, err
+	}
+	if doc.CodeFileRef != "" {
+		return recoverSnapshot(a.stores, id, opts)
+	}
+	if doc.BaseID == "" {
+		return nil, fmt.Errorf("core: derived model %s has no base reference", id)
+	}
+	rec, err := a.Recover(doc.BaseID, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case doc.ParamsFileRef != "": // parameter-update link
+		t0 := time.Now()
+		raw, err := loadStateDictBytes(a.stores.Files, doc.ParamsFileRef)
+		if err != nil {
+			return nil, err
+		}
+		rec.Timing.Load += time.Since(t0)
+		t1 := time.Now()
+		update, err := nn.ReadStateDict(bytesReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		if err := applyUpdateToNet(rec.Net, update); err != nil {
+			return nil, err
+		}
+		restoreTrainable(rec.Net, doc.TrainablePrefixes)
+		rec.Timing.Recover += time.Since(t1)
+	case doc.ServiceDocID != "": // provenance link
+		timing, err := a.mpa.applyTrainingLink(id, doc, rec.Net, opts)
+		if err != nil {
+			return nil, err
+		}
+		rec.Timing.add(timing)
+	default:
+		return nil, fmt.Errorf("core: model %s has neither parameters nor provenance", id)
+	}
+	if opts.VerifyChecksums && doc.StateHash != "" {
+		t3 := time.Now()
+		if got := nn.StateDictOf(rec.Net).Hash(); got != doc.StateHash {
+			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
+		}
+		rec.Timing.Verify += time.Since(t3)
+	}
+	rec.ID = id
+	rec.BaseID = doc.BaseID
+	return rec, nil
+}
+
+// applyUpdateToNet copies the update's tensors into the matching state
+// entries of net, leaving all other state untouched.
+func applyUpdateToNet(net nn.Module, update *nn.StateDict) error {
+	model := nn.StateDictOf(net)
+	for _, e := range update.Entries() {
+		dst, ok := model.Get(e.Key)
+		if !ok {
+			return fmt.Errorf("core: update contains unknown tensor %q", e.Key)
+		}
+		if !dst.SameShape(e.Tensor) {
+			return fmt.Errorf("core: update shape mismatch for %q", e.Key)
+		}
+		copy(dst.Data(), e.Tensor.Data())
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/docdb"
+	"repro/internal/environment"
+	"repro/internal/filestore"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// Baseline is the baseline approach (BA, Section 3.1): it saves every model
+// as a complete independent snapshot and recovers it without touching any
+// base model. It is the reference point the advanced approaches are
+// measured against, and also the save path all approaches use for an
+// initial model.
+type Baseline struct {
+	stores Stores
+}
+
+// NewBaseline creates a baseline save service over the given stores.
+func NewBaseline(stores Stores) *Baseline {
+	return &Baseline{stores: stores}
+}
+
+var _ SaveService = (*Baseline)(nil)
+
+// Approach implements SaveService.
+func (b *Baseline) Approach() string { return BaselineApproach }
+
+// Save implements SaveService: it persists metadata (environment, base
+// reference, optional checksums) as JSON documents and the model code and
+// serialized parameters as files.
+func (b *Baseline) Save(info SaveInfo) (SaveResult, error) {
+	start := time.Now()
+	res, err := saveSnapshot(b.stores, info, BaselineApproach, false)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// saveSnapshot writes a full model snapshot. It is shared by the baseline
+// approach and by the first (underived) save of the other approaches.
+// withLayerHashes additionally persists the per-layer hash document the
+// parameter update approach needs for cheap diffing.
+func saveSnapshot(stores Stores, info SaveInfo, approach string, withLayerHashes bool) (SaveResult, error) {
+	res := SaveResult{Approach: approach}
+
+	// Extract: state dict and (optionally) hashes.
+	sd := nn.StateDictOf(info.Net)
+	doc := modelDoc{
+		Approach:          approach,
+		BaseID:            info.BaseID,
+		TrainablePrefixes: nn.TrainablePrefixes(info.Net),
+	}
+	if info.WithChecksums {
+		doc.StateHash = sd.Hash()
+	}
+
+	// Model code: the serialized architecture spec.
+	codeBytes, err := info.Spec.MarshalText()
+	if err != nil {
+		return SaveResult{}, err
+	}
+	codeID, codeSize, _, err := stores.Files.SaveBytes(codeBytes)
+	if err != nil {
+		return SaveResult{}, fmt.Errorf("core: saving model code: %w", err)
+	}
+	doc.CodeFileRef = codeID
+	res.FileBytes += codeSize
+
+	// Environment document.
+	env := captureEnv(info)
+	envDoc, envSize, err := docToMap(env)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	envID, err := stores.Meta.Insert(ColEnvironments, envDoc)
+	if err != nil {
+		return SaveResult{}, fmt.Errorf("core: saving environment: %w", err)
+	}
+	doc.EnvDocID = envID
+	res.MetaBytes += envSize
+
+	// Serialized parameters, streamed into the file store.
+	paramsID, paramsSize, err := saveStateDict(stores.Files, sd)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	doc.ParamsFileRef = paramsID
+	res.FileBytes += paramsSize
+
+	// Per-layer hashes for PUA saves.
+	if withLayerHashes {
+		hashID, hashSize, err := saveLayerHashes(stores.Meta, sd.LayerHashes())
+		if err != nil {
+			return SaveResult{}, err
+		}
+		doc.HashDocID = hashID
+		res.MetaBytes += hashSize
+	}
+
+	// Root model document.
+	rootDoc, rootSize, err := docToMap(doc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	id, err := stores.Meta.Insert(ColModels, rootDoc)
+	if err != nil {
+		return SaveResult{}, fmt.Errorf("core: saving model document: %w", err)
+	}
+	res.MetaBytes += rootSize
+	res.ID = id
+	res.StorageBytes = res.MetaBytes + res.FileBytes
+	return res, nil
+}
+
+// saveStateDict streams a state dict into the file store.
+func saveStateDict(files *filestore.Store, sd *nn.StateDict) (string, int64, error) {
+	id := filestore.NewID()
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := sd.WriteTo(pw)
+		pw.CloseWithError(err)
+	}()
+	size, _, err := files.SaveAs(id, pr)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: saving parameters: %w", err)
+	}
+	return id, size, nil
+}
+
+// loadStateDictBytes fetches a parameter file fully into memory. Loading
+// and deserialization are deliberately separate steps so the recover-time
+// breakdown can attribute them like Figure 12 does.
+func loadStateDictBytes(files *filestore.Store, id string) ([]byte, error) {
+	b, err := files.ReadAll(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading parameters %s: %w", id, err)
+	}
+	return b, nil
+}
+
+// Recover implements SaveService. The baseline explicitly does not follow
+// base-model references: every model is self-contained.
+func (b *Baseline) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	return recoverSnapshot(b.stores, id, opts)
+}
+
+// recoverSnapshot rebuilds a model from a full snapshot document. It is
+// also the recursion anchor for the other approaches.
+func recoverSnapshot(stores Stores, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	var timing RecoverTiming
+
+	// Load: documents and file bytes.
+	t0 := time.Now()
+	doc, err := getModelDoc(stores.Meta, id)
+	if err != nil {
+		return nil, err
+	}
+	if doc.ParamsFileRef == "" {
+		return nil, fmt.Errorf("core: model %s has no parameter snapshot (approach %s)", id, doc.Approach)
+	}
+	env, err := envFromDoc(stores.Meta, doc.EnvDocID)
+	if err != nil {
+		return nil, err
+	}
+	codeBytes, err := stores.Files.ReadAll(doc.CodeFileRef)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model code: %w", err)
+	}
+	paramBytes, err := loadStateDictBytes(stores.Files, doc.ParamsFileRef)
+	if err != nil {
+		return nil, err
+	}
+	timing.Load = time.Since(t0)
+
+	// Recover: deserialize, build the architecture, restore state.
+	t1 := time.Now()
+	spec, err := models.ParseSpec(codeBytes)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := nn.ReadStateDict(bytesReader(paramBytes))
+	if err != nil {
+		return nil, err
+	}
+	net, err := models.Instantiate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := sd.LoadInto(net); err != nil {
+		return nil, fmt.Errorf("core: restoring parameters: %w", err)
+	}
+	restoreTrainable(net, doc.TrainablePrefixes)
+	timing.Recover = time.Since(t1)
+
+	// Check environment.
+	if opts.CheckEnv {
+		t2 := time.Now()
+		if err := environment.Check(env); err != nil {
+			return nil, err
+		}
+		timing.CheckEnv = time.Since(t2)
+	}
+
+	// Verify parameters were recovered correctly.
+	if opts.VerifyChecksums && doc.StateHash != "" {
+		t3 := time.Now()
+		if got := nn.StateDictOf(net).Hash(); got != doc.StateHash {
+			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
+		}
+		timing.Verify = time.Since(t3)
+	}
+
+	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: doc.BaseID, Timing: timing}, nil
+}
+
+// restoreTrainable reapplies the recorded layer freezing.
+func restoreTrainable(net nn.Module, prefixes []string) {
+	if len(prefixes) == 0 {
+		return
+	}
+	nn.FreezeAllExcept(net, prefixes...)
+}
+
+// saveLayerHashes persists the per-layer hash list as one document.
+func saveLayerHashes(meta docdb.Store, hashes []nn.KeyHash) (string, int64, error) {
+	doc, size, err := docToMap(struct {
+		Layers []nn.KeyHash `json:"layers"`
+	}{Layers: hashes})
+	if err != nil {
+		return "", 0, err
+	}
+	id, err := meta.Insert(ColLayerHashes, doc)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: saving layer hashes: %w", err)
+	}
+	return id, size, nil
+}
+
+// loadLayerHashes fetches a per-layer hash document.
+func loadLayerHashes(meta docdb.Store, id string) ([]nn.KeyHash, error) {
+	raw, err := meta.Get(ColLayerHashes, id)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading layer hashes %s: %w", id, err)
+	}
+	var doc struct {
+		Layers []nn.KeyHash `json:"layers"`
+	}
+	if err := mapToDoc(raw, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Layers, nil
+}

@@ -1,0 +1,245 @@
+// Package core implements the paper's contribution: three approaches for
+// saving and recovering exact deep-learning model representations in a
+// distributed environment (Section 3).
+//
+//   - Baseline (BA): every model is saved as a complete, independent
+//     snapshot — metadata, architecture ("model code" plus environment),
+//     and all parameters.
+//   - Parameter update (PUA): a derived model is saved as a reference to
+//     its base model plus only the layers whose parameters changed. Changed
+//     layers are found by comparing per-layer hash Merkle trees, so saving
+//     never requires recovering the base model's parameters.
+//   - Model provenance (MPA): a derived model is saved as its provenance —
+//     the training service (wrapped objects, hyperparameters), the
+//     compressed training dataset, the environment, and a base-model
+//     reference. Recovery re-executes the training deterministically.
+//
+// All approaches persist JSON documents in a docdb.Store (MongoDB in the
+// paper) organized hierarchically, and opaque artifacts in a
+// filestore.Store (the paper's shared file system). A saved model and its
+// recovered counterpart are equal in the paper's strict sense: identical
+// architecture and bit-identical parameters.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/docdb"
+	"repro/internal/environment"
+	"repro/internal/filestore"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// Approach identifiers.
+const (
+	BaselineApproach    = "baseline"
+	ParamUpdateApproach = "param_update"
+	ProvenanceApproach  = "provenance"
+)
+
+// Document collections used in the metadata store.
+const (
+	ColModels       = "models"
+	ColEnvironments = "environments"
+	ColLayerHashes  = "layer_hashes"
+	ColServices     = "train_services"
+)
+
+// ErrModelNotFound is returned when recovering an unknown model identifier.
+var ErrModelNotFound = errors.New("core: model not found")
+
+// Stores bundles the metadata database and the shared file store every
+// approach persists into.
+type Stores struct {
+	Meta  docdb.Store
+	Files *filestore.Store
+}
+
+// SaveInfo describes a model to save.
+type SaveInfo struct {
+	// Spec identifies the architecture (the "model code").
+	Spec models.Spec
+	// Net is the live model whose state is saved.
+	Net nn.Module
+	// BaseID references the base model for derived models; empty for
+	// independent snapshots (U1).
+	BaseID string
+	// Env is the recorded execution environment. If zero it is captured.
+	Env *environment.Info
+	// WithChecksums stores content hashes so recovery can verify the model
+	// was reconstructed correctly.
+	WithChecksums bool
+	// Provenance must be set for derived saves with the provenance
+	// approach; other approaches ignore it.
+	Provenance *ProvenanceRecord
+}
+
+// SaveResult reports a completed save.
+type SaveResult struct {
+	// ID identifies the saved model for later recovery.
+	ID string
+	// Approach is the approach that performed the save.
+	Approach string
+	// StorageBytes is the storage consumed by this model, excluding its
+	// base models (the paper's storage-consumption metric): JSON metadata
+	// plus all files written.
+	StorageBytes int64
+	// MetaBytes and FileBytes split StorageBytes into document and file
+	// storage.
+	MetaBytes int64
+	FileBytes int64
+	// Duration is the wall-clock time-to-save (TTS).
+	Duration time.Duration
+}
+
+// RecoverOptions control the recovery process.
+type RecoverOptions struct {
+	// CheckEnv verifies the recorded environment against the current one.
+	// The check's cost is reported separately (Figure 12 excludes it).
+	CheckEnv bool
+	// VerifyChecksums re-hashes the recovered parameters against stored
+	// checksums when the model was saved with checksums.
+	VerifyChecksums bool
+}
+
+// RecoverTiming is the recovery-time breakdown of Figure 12.
+type RecoverTiming struct {
+	// Load is the time to fetch documents and file bytes.
+	Load time.Duration
+	// Recover is the time to rebuild the model from the loaded data
+	// (deserialization, architecture construction, merging or retraining).
+	Recover time.Duration
+	// CheckEnv is the environment verification time.
+	CheckEnv time.Duration
+	// Verify is the checksum verification time.
+	Verify time.Duration
+}
+
+// Total returns the total time-to-recover (TTR).
+func (t RecoverTiming) Total() time.Duration {
+	return t.Load + t.Recover + t.CheckEnv + t.Verify
+}
+
+func (t *RecoverTiming) add(o RecoverTiming) {
+	t.Load += o.Load
+	t.Recover += o.Recover
+	t.CheckEnv += o.CheckEnv
+	t.Verify += o.Verify
+}
+
+// RecoveredModel is the result of a recovery.
+type RecoveredModel struct {
+	ID   string
+	Spec models.Spec
+	// Net is the recovered model with restored parameters and buffers.
+	Net nn.Module
+	// BaseID is the recovered model's base reference (empty for roots).
+	BaseID string
+	// Timing is the TTR breakdown, aggregated over recursive recoveries.
+	Timing RecoverTiming
+}
+
+// SaveService is the common interface of the three approaches.
+type SaveService interface {
+	// Approach returns the approach identifier.
+	Approach() string
+	// Save persists the model and returns its identifier and metrics.
+	Save(info SaveInfo) (SaveResult, error)
+	// Recover reconstructs the model saved under id.
+	Recover(id string, opts RecoverOptions) (*RecoveredModel, error)
+}
+
+// modelDoc is the root metadata document of a saved model. Sub-documents
+// (environment, layer hashes, train service) are stored separately and
+// referenced by identifier, mirroring the paper's hierarchical JSON
+// documents.
+type modelDoc struct {
+	Approach string `json:"approach"`
+	BaseID   string `json:"base_id,omitempty"`
+	// CodeFileRef references the "model code" file (the serialized
+	// architecture spec).
+	CodeFileRef string `json:"code_file_ref,omitempty"`
+	// EnvDocID references the environment document.
+	EnvDocID string `json:"env_doc_id,omitempty"`
+	// ParamsFileRef references the serialized parameters: the full state
+	// dict for baseline saves, the parameter update for PUA saves.
+	ParamsFileRef string `json:"params_file_ref,omitempty"`
+	// UpdatedLayers lists the layer paths contained in a parameter update.
+	UpdatedLayers []string `json:"updated_layers,omitempty"`
+	// HashDocID references the per-layer hash document (PUA).
+	HashDocID string `json:"hash_doc_id,omitempty"`
+	// StateHash is the checksum of the full model state, stored when the
+	// model was saved with checksums.
+	StateHash string `json:"state_hash,omitempty"`
+	// TrainablePrefixes records which layers were trainable, so a
+	// recovered model restores the same freezing.
+	TrainablePrefixes []string `json:"trainable_prefixes,omitempty"`
+	// ServiceDocID references the train-service provenance document (MPA).
+	ServiceDocID string `json:"service_doc_id,omitempty"`
+}
+
+// docToMap converts a struct into a docdb document via JSON.
+func docToMap(v any) (docdb.Document, int64, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: encoding document: %w", err)
+	}
+	var doc docdb.Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, 0, err
+	}
+	return doc, int64(len(b)), nil
+}
+
+// mapToDoc converts a docdb document back into a struct via JSON.
+func mapToDoc(doc docdb.Document, v any) error {
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("core: decoding document: %w", err)
+	}
+	return nil
+}
+
+// getModelDoc fetches and decodes a model's root document.
+func getModelDoc(meta docdb.Store, id string) (modelDoc, error) {
+	raw, err := meta.Get(ColModels, id)
+	if errors.Is(err, docdb.ErrNotFound) {
+		return modelDoc{}, fmt.Errorf("%w: %s", ErrModelNotFound, id)
+	}
+	if err != nil {
+		return modelDoc{}, err
+	}
+	var doc modelDoc
+	if err := mapToDoc(raw, &doc); err != nil {
+		return modelDoc{}, err
+	}
+	return doc, nil
+}
+
+// envFromDoc loads an environment document.
+func envFromDoc(meta docdb.Store, id string) (environment.Info, error) {
+	raw, err := meta.Get(ColEnvironments, id)
+	if err != nil {
+		return environment.Info{}, fmt.Errorf("core: loading environment %s: %w", id, err)
+	}
+	var env environment.Info
+	if err := mapToDoc(raw, &env); err != nil {
+		return environment.Info{}, err
+	}
+	return env, nil
+}
+
+// captureEnv returns info.Env or captures the current environment.
+func captureEnv(info SaveInfo) environment.Info {
+	if info.Env != nil {
+		return *info.Env
+	}
+	return environment.Capture()
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/environment"
+	"repro/internal/merkle"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// ParamUpdate is the parameter update approach (PUA, Section 3.2): derived
+// models are saved as a base-model reference plus the parameters of the
+// layers that changed. Per-layer hashes stored with every model let the
+// save path find the changed layers by comparing Merkle trees, so saving a
+// derived model never recovers the base model's parameters.
+type ParamUpdate struct {
+	stores Stores
+	// UseMerkle selects Merkle-tree layer diffing; when false the diff
+	// compares every layer hash pairwise. The flag exists for the ablation
+	// benchmark of the Merkle optimization.
+	UseMerkle bool
+}
+
+// NewParamUpdate creates a parameter update save service.
+func NewParamUpdate(stores Stores) *ParamUpdate {
+	return &ParamUpdate{stores: stores, UseMerkle: true}
+}
+
+var _ SaveService = (*ParamUpdate)(nil)
+
+// Approach implements SaveService.
+func (p *ParamUpdate) Approach() string { return ParamUpdateApproach }
+
+// Save implements SaveService. An initial model (no BaseID) is saved as a
+// full snapshot, augmented with the per-layer hash document; a derived
+// model is saved as a parameter update.
+func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
+	start := time.Now()
+	if info.BaseID == "" {
+		res, err := saveSnapshot(p.stores, info, ParamUpdateApproach, true)
+		if err != nil {
+			return SaveResult{}, err
+		}
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+
+	res := SaveResult{Approach: ParamUpdateApproach}
+
+	// Load the base model's layer hashes (never its parameters).
+	baseDoc, err := getModelDoc(p.stores.Meta, info.BaseID)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	if baseDoc.HashDocID == "" {
+		return SaveResult{}, fmt.Errorf("core: base model %s has no layer hashes; was it saved with the parameter update approach?", info.BaseID)
+	}
+	baseHashes, err := loadLayerHashes(p.stores.Meta, baseDoc.HashDocID)
+	if err != nil {
+		return SaveResult{}, err
+	}
+
+	// Extract this model's layer hashes and find the changed layers.
+	sd := nn.StateDictOf(info.Net)
+	curHashes := sd.LayerHashes()
+	changed, err := diffLayerHashes(baseHashes, curHashes, p.UseMerkle)
+	if err != nil {
+		return SaveResult{}, err
+	}
+
+	// The parameter update: only the changed layers' tensors.
+	update := sd.SubsetByLayers(changed)
+
+	doc := modelDoc{
+		Approach:          ParamUpdateApproach,
+		BaseID:            info.BaseID,
+		UpdatedLayers:     changed,
+		TrainablePrefixes: nn.TrainablePrefixes(info.Net),
+	}
+	if info.WithChecksums {
+		doc.StateHash = sd.Hash()
+	}
+
+	// Environment document (architecture is inherited from the base model,
+	// but the environment may differ and is always recorded).
+	env := captureEnv(info)
+	envDoc, envSize, err := docToMap(env)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	envID, err := p.stores.Meta.Insert(ColEnvironments, envDoc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	doc.EnvDocID = envID
+	res.MetaBytes += envSize
+
+	// Serialized parameter update.
+	paramsID, paramsSize, err := saveStateDict(p.stores.Files, update)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	doc.ParamsFileRef = paramsID
+	res.FileBytes += paramsSize
+
+	// Layer hashes for this model, so the next derived save can diff
+	// against us.
+	hashID, hashSize, err := saveLayerHashes(p.stores.Meta, curHashes)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	doc.HashDocID = hashID
+	res.MetaBytes += hashSize
+
+	rootDoc, rootSize, err := docToMap(doc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	id, err := p.stores.Meta.Insert(ColModels, rootDoc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	res.MetaBytes += rootSize
+	res.ID = id
+	res.StorageBytes = res.MetaBytes + res.FileBytes
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// diffLayerHashes returns the names of layers whose hashes differ. With
+// useMerkle it builds Merkle trees and prunes unchanged subtrees; otherwise
+// it compares all leaves pairwise.
+func diffLayerHashes(base, cur []nn.KeyHash, useMerkle bool) ([]string, error) {
+	if len(base) != len(cur) {
+		return nil, fmt.Errorf("core: layer count changed (%d vs %d); parameter updates require an unchanged architecture", len(base), len(cur))
+	}
+	if !useMerkle {
+		var changed []string
+		for i := range base {
+			if base[i].Key != cur[i].Key {
+				return nil, fmt.Errorf("core: layer order changed at %d: %q vs %q", i, base[i].Key, cur[i].Key)
+			}
+			if base[i].Hash != cur[i].Hash {
+				changed = append(changed, cur[i].Key)
+			}
+		}
+		return changed, nil
+	}
+	baseTree, err := merkle.Build(toLeaves(base))
+	if err != nil {
+		return nil, err
+	}
+	curTree, err := merkle.Build(toLeaves(cur))
+	if err != nil {
+		return nil, err
+	}
+	res, err := merkle.Diff(baseTree, curTree)
+	if err != nil {
+		return nil, err
+	}
+	return res.Changed, nil
+}
+
+func toLeaves(hashes []nn.KeyHash) []merkle.Leaf {
+	out := make([]merkle.Leaf, len(hashes))
+	for i, h := range hashes {
+		out[i] = merkle.Leaf{Name: h.Key, Hash: h.Hash}
+	}
+	return out
+}
+
+// Recover implements SaveService. Recovery is recursive: the chain of base
+// references is followed down to a full snapshot, then parameter updates
+// are merged upward with the derived model's layers taking priority.
+func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	var timing RecoverTiming
+
+	// Walk the chain from the requested model down to the snapshot root,
+	// loading documents and raw parameter bytes (the "load" bucket).
+	type link struct {
+		id     string
+		doc    modelDoc
+		params []byte
+		code   []byte
+		env    environment.Info
+	}
+	var chain []link
+	cur := id
+	t0 := time.Now()
+	for {
+		doc, err := getModelDoc(p.stores.Meta, cur)
+		if err != nil {
+			return nil, err
+		}
+		l := link{id: cur, doc: doc}
+		l.env, err = envFromDoc(p.stores.Meta, doc.EnvDocID)
+		if err != nil {
+			return nil, err
+		}
+		if doc.ParamsFileRef != "" {
+			l.params, err = loadStateDictBytes(p.stores.Files, doc.ParamsFileRef)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if doc.CodeFileRef != "" {
+			l.code, err = p.stores.Files.ReadAll(doc.CodeFileRef)
+			if err != nil {
+				return nil, err
+			}
+		}
+		chain = append(chain, l)
+		if doc.CodeFileRef != "" {
+			break // reached a full snapshot (derived saves carry no code file)
+		}
+		if doc.BaseID == "" {
+			return nil, fmt.Errorf("core: model %s is an update without a base reference", cur)
+		}
+		cur = doc.BaseID
+	}
+	timing.Load = time.Since(t0)
+
+	// Recover: deserialize the snapshot, then merge updates root-to-leaf.
+	t1 := time.Now()
+	root := chain[len(chain)-1]
+	spec, err := models.ParseSpec(root.code)
+	if err != nil {
+		return nil, err
+	}
+	state, err := nn.ReadStateDict(bytesReader(root.params))
+	if err != nil {
+		return nil, err
+	}
+	for i := len(chain) - 2; i >= 0; i-- {
+		update, err := nn.ReadStateDict(bytesReader(chain[i].params))
+		if err != nil {
+			return nil, fmt.Errorf("core: reading update %s: %w", chain[i].id, err)
+		}
+		state = nn.Merge(state, update)
+	}
+	net, err := models.Instantiate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := state.LoadInto(net); err != nil {
+		return nil, fmt.Errorf("core: restoring merged parameters: %w", err)
+	}
+	target := chain[0]
+	restoreTrainable(net, target.doc.TrainablePrefixes)
+	timing.Recover = time.Since(t1)
+
+	if opts.CheckEnv {
+		t2 := time.Now()
+		if err := environment.Check(target.env); err != nil {
+			return nil, err
+		}
+		timing.CheckEnv = time.Since(t2)
+	}
+	if opts.VerifyChecksums && target.doc.StateHash != "" {
+		t3 := time.Now()
+		if got := nn.StateDictOf(net).Hash(); got != target.doc.StateHash {
+			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
+		}
+		timing.Verify = time.Since(t3)
+	}
+	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: target.doc.BaseID, Timing: timing}, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/docdb"
+	"repro/internal/filestore"
+	"repro/internal/nn"
+)
+
+// Cross-process / cross-machine persistence: a model saved through
+// disk-backed stores must be recoverable through *fresh* store handles over
+// the same directories — the shared-storage scenario where the saving node
+// and the recovering server are different processes on different machines.
+func TestRecoveryAcrossFreshStoreHandles(t *testing.T) {
+	dir := t.TempDir()
+	open := func() Stores {
+		meta, err := docdb.OpenDisk(filepath.Join(dir, "meta"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files, err := filestore.Open(filepath.Join(dir, "files"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Stores{Meta: meta, Files: files}
+	}
+
+	// "Node process": saves a chain of three models with the PUA.
+	var u3ID string
+	var wantHash string
+	{
+		stores := open()
+		pua := NewParamUpdate(stores)
+		net := tinyNet(t, 50)
+		u1, err := pua.Save(SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := u1.ID
+		for i := 0; i < 2; i++ {
+			w, _ := nn.StateDictOf(net).Get("fc.weight")
+			w.Data()[i] += 1
+			res, err := pua.Save(SaveInfo{Spec: tinySpec(), Net: net, BaseID: prev, WithChecksums: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev = res.ID
+		}
+		u3ID = prev
+		wantHash = nn.StateDictOf(net).Hash()
+		stores.Meta.Close()
+	}
+
+	// "Server process": fresh handles, recovers the newest model.
+	{
+		stores := open()
+		defer stores.Meta.Close()
+		pua := NewParamUpdate(stores)
+		rec, err := pua.Recover(u3ID, RecoverOptions{VerifyChecksums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nn.StateDictOf(rec.Net).Hash() != wantHash {
+			t.Fatal("cold recovery produced a different model")
+		}
+		// The baseline service can also recover the chain's snapshot root
+		// cold.
+		chainRoot := rec.BaseID
+		doc, err := getModelDoc(stores.Meta, chainRoot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.BaseID == "" {
+			t.Fatal("expected the middle link, not the root")
+		}
+	}
+}
+
+// Provenance recovery must also work cold: documents, dataset archive, and
+// optimizer state all come from disk.
+func TestProvenanceRecoveryAcrossFreshStoreHandles(t *testing.T) {
+	dir := t.TempDir()
+	open := func() Stores {
+		meta, err := docdb.OpenDisk(filepath.Join(dir, "meta"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files, err := filestore.Open(filepath.Join(dir, "files"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Stores{Meta: meta, Files: files}
+	}
+
+	var id, wantHash string
+	{
+		stores := open()
+		mpa := NewProvenance(stores)
+		ds := tinyDataset(t)
+		net := tinyNet(t, 51)
+		u1, err := mpa.Save(SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trainDerived(t, net, ds)
+		res, err := mpa.Save(SaveInfo{Spec: tinySpec(), Net: net, BaseID: u1.ID, WithChecksums: true, Provenance: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id = res.ID
+		wantHash = nn.StateDictOf(net).Hash()
+		stores.Meta.Close()
+	}
+	{
+		stores := open()
+		defer stores.Meta.Close()
+		mpa := NewProvenance(stores)
+		got, err := mpa.Recover(id, RecoverOptions{VerifyChecksums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nn.StateDictOf(got.Net).Hash() != wantHash {
+			t.Fatal("cold provenance recovery produced a different model")
+		}
+	}
+}

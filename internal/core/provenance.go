@@ -1,0 +1,394 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/environment"
+	"repro/internal/filestore"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+// Provenance is the model provenance approach (MPA, Section 3.3): derived
+// models are represented by their provenance — training process, training
+// environment, training data, and a base-model reference — instead of their
+// parameters. Recovery re-executes the training deterministically, which
+// requires the training service to have been run in deterministic mode.
+type Provenance struct {
+	stores Stores
+	// DatasetByReference enables the external-dataset-manager mode of
+	// Section 3.3 ("Managing Data sets"): instead of archiving the dataset
+	// into the file store, only a reference to an externally managed
+	// dataset is recorded. Recovery then resolves the reference through
+	// ResolveDataset.
+	DatasetByReference bool
+	// ResolveDataset resolves an external dataset reference when
+	// DatasetByReference is set.
+	ResolveDataset func(ref string) (*dataset.Dataset, error)
+}
+
+// NewProvenance creates a model provenance save service.
+func NewProvenance(stores Stores) *Provenance {
+	return &Provenance{stores: stores}
+}
+
+var _ SaveService = (*Provenance)(nil)
+
+// Approach implements SaveService.
+func (p *Provenance) Approach() string { return ProvenanceApproach }
+
+// ProvenanceRecord captures everything needed to reproduce a training run:
+// the service document, the pre-training optimizer state, the dataset, and
+// the hash of the training result for verification. Create it with
+// NewProvenanceRecord *before* training (the paper: "For every object
+// referenced as part of the training process, we save its state before the
+// training starts"), then call Train, then pass it to Provenance.Save.
+type ProvenanceRecord struct {
+	doc        train.ServiceDoc
+	optState   []byte
+	ds         *dataset.Dataset
+	service    train.Service
+	trained    bool
+	resultHash string
+	// externalRef is set when the dataset is managed externally.
+	externalRef string
+}
+
+// NewProvenanceRecord snapshots the training service's pre-training state.
+func NewProvenanceRecord(svc train.Service) (*ProvenanceRecord, error) {
+	doc, opt, ds, err := svc.Describe()
+	if err != nil {
+		return nil, fmt.Errorf("core: describing train service: %w", err)
+	}
+	rec := &ProvenanceRecord{doc: doc, ds: ds, service: svc}
+	if opt != nil && opt.HasState() {
+		var buf bytes.Buffer
+		if _, err := opt.WriteState(&buf); err != nil {
+			return nil, fmt.Errorf("core: capturing optimizer state: %w", err)
+		}
+		rec.optState = buf.Bytes()
+	}
+	return rec, nil
+}
+
+// SetExternalDatasetRef marks the dataset as externally managed under the
+// given reference (used with Provenance.DatasetByReference).
+func (r *ProvenanceRecord) SetExternalDatasetRef(ref string) { r.externalRef = ref }
+
+// Train runs the recorded service on net and remembers the result hash for
+// recovery verification.
+func (r *ProvenanceRecord) Train(net nn.Module) (train.Stats, error) {
+	stats, err := r.service.Train(net)
+	if err != nil {
+		return stats, err
+	}
+	r.trained = true
+	r.resultHash = nn.StateDictOf(net).Hash()
+	return stats, nil
+}
+
+// Save implements SaveService. An initial model is saved as a full snapshot
+// (the BA logic); a derived model is saved as provenance data only — no
+// parameters.
+func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
+	start := time.Now()
+	if info.BaseID == "" {
+		res, err := saveSnapshot(p.stores, info, ProvenanceApproach, false)
+		if err != nil {
+			return SaveResult{}, err
+		}
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+	rec := info.Provenance
+	if rec == nil {
+		return SaveResult{}, fmt.Errorf("core: provenance approach needs a ProvenanceRecord for derived saves")
+	}
+	if !rec.trained {
+		return SaveResult{}, fmt.Errorf("core: provenance record was not trained; call Train before Save")
+	}
+
+	res := SaveResult{Approach: ProvenanceApproach}
+	doc := modelDoc{
+		Approach:          ProvenanceApproach,
+		BaseID:            info.BaseID,
+		TrainablePrefixes: nn.TrainablePrefixes(info.Net),
+	}
+	if info.WithChecksums {
+		doc.StateHash = rec.resultHash
+	}
+
+	// Training environment document.
+	env := captureEnv(info)
+	envDoc, envSize, err := docToMap(env)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	envID, err := p.stores.Meta.Insert(ColEnvironments, envDoc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	doc.EnvDocID = envID
+	res.MetaBytes += envSize
+
+	// Dataset: archived into the file store, or referenced externally.
+	svcDoc := rec.doc
+	if p.DatasetByReference {
+		if rec.externalRef == "" {
+			return SaveResult{}, fmt.Errorf("core: dataset-by-reference mode needs an external dataset reference")
+		}
+		svcDoc.DatasetRef = "external:" + rec.externalRef
+	} else {
+		dsID, dsSize, err := saveDatasetArchive(p.stores, rec.ds)
+		if err != nil {
+			return SaveResult{}, err
+		}
+		svcDoc.DatasetRef = dsID
+		res.FileBytes += dsSize
+	}
+
+	// Optimizer state file (the wrapper object's state).
+	if len(rec.optState) > 0 {
+		stateID, stateSize, _, err := p.stores.Files.SaveBytes(rec.optState)
+		if err != nil {
+			return SaveResult{}, fmt.Errorf("core: saving optimizer state: %w", err)
+		}
+		w := svcDoc.Wrappers["optimizer"]
+		w.StateFileRef = stateID
+		svcDoc.Wrappers["optimizer"] = w
+		res.FileBytes += stateSize
+	}
+
+	// Train service document.
+	svcRaw, svcSize, err := docToMap(svcDoc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	svcID, err := p.stores.Meta.Insert(ColServices, svcRaw)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	doc.ServiceDocID = svcID
+	res.MetaBytes += svcSize
+
+	rootDoc, rootSize, err := docToMap(doc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	id, err := p.stores.Meta.Insert(ColModels, rootDoc)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	res.MetaBytes += rootSize
+	res.ID = id
+	res.StorageBytes = res.MetaBytes + res.FileBytes
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func saveDatasetArchive(stores Stores, ds *dataset.Dataset) (string, int64, error) {
+	if ds == nil {
+		return "", 0, fmt.Errorf("core: provenance record has no dataset")
+	}
+	id := filestore.NewID()
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := ds.WriteArchive(pw)
+		pw.CloseWithError(err)
+	}()
+	size, _, err := stores.Files.SaveAs(id, pr)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: archiving dataset: %w", err)
+	}
+	return id, size, nil
+}
+
+// Recover implements SaveService. Recovery walks the base chain down to the
+// snapshot root, recovers the root model, and then reproduces each training
+// step in order — the recursive process of Section 3.3, with training in
+// place of parameter merging.
+func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	var timing RecoverTiming
+
+	type link struct {
+		id       string
+		doc      modelDoc
+		svcDoc   train.ServiceDoc
+		ds       *dataset.Dataset
+		optState []byte
+		env      environment.Info
+	}
+
+	// Load phase: fetch documents, dataset archives, and state files.
+	t0 := time.Now()
+	var chain []link
+	cur := id
+	for {
+		doc, err := getModelDoc(p.stores.Meta, cur)
+		if err != nil {
+			return nil, err
+		}
+		l := link{id: cur, doc: doc}
+		l.env, err = envFromDoc(p.stores.Meta, doc.EnvDocID)
+		if err != nil {
+			return nil, err
+		}
+		if doc.CodeFileRef != "" {
+			// Snapshot root: recovered below with the baseline logic (we
+			// re-fetch there; the double document read is negligible next
+			// to parameter loading).
+			chain = append(chain, l)
+			break
+		}
+		if doc.ServiceDocID == "" {
+			return nil, fmt.Errorf("core: model %s has neither snapshot nor provenance data", cur)
+		}
+		svcRaw, err := p.stores.Meta.Get(ColServices, doc.ServiceDocID)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading train service %s: %w", doc.ServiceDocID, err)
+		}
+		if err := mapToDoc(svcRaw, &l.svcDoc); err != nil {
+			return nil, err
+		}
+		l.ds, err = p.loadDataset(l.svcDoc.DatasetRef)
+		if err != nil {
+			return nil, err
+		}
+		if ref := l.svcDoc.Wrappers["optimizer"].StateFileRef; ref != "" {
+			l.optState, err = p.stores.Files.ReadAll(ref)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading optimizer state: %w", err)
+			}
+		}
+		chain = append(chain, l)
+		if doc.BaseID == "" {
+			return nil, fmt.Errorf("core: provenance model %s has no base reference", cur)
+		}
+		cur = doc.BaseID
+	}
+	timing.Load = time.Since(t0)
+
+	// Recover the snapshot root.
+	root := chain[len(chain)-1]
+	rootModel, err := recoverSnapshot(p.stores, root.id, RecoverOptions{CheckEnv: opts.CheckEnv, VerifyChecksums: opts.VerifyChecksums})
+	if err != nil {
+		return nil, err
+	}
+	timing.add(rootModel.Timing)
+	net := rootModel.Net
+	spec := rootModel.Spec
+
+	// Reproduce each training step from root to target.
+	for i := len(chain) - 2; i >= 0; i-- {
+		l := chain[i]
+
+		if opts.CheckEnv {
+			t2 := time.Now()
+			if err := environment.Check(l.env); err != nil {
+				return nil, err
+			}
+			timing.CheckEnv += time.Since(t2)
+		}
+
+		t1 := time.Now()
+		restoreTrainable(net, l.doc.TrainablePrefixes)
+		svc, err := train.Restore(l.svcDoc, l.ds, l.optState)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := svc.Train(net); err != nil {
+			return nil, fmt.Errorf("core: reproducing training for %s: %w", l.id, err)
+		}
+		timing.Recover += time.Since(t1)
+
+		if opts.VerifyChecksums && l.doc.StateHash != "" {
+			t3 := time.Now()
+			if got := nn.StateDictOf(net).Hash(); got != l.doc.StateHash {
+				return nil, fmt.Errorf("core: reproduced training for %s did not match the saved model (non-deterministic training?)", l.id)
+			}
+			timing.Verify += time.Since(t3)
+		}
+	}
+
+	target := chain[0]
+	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: target.doc.BaseID, Timing: timing}, nil
+}
+
+// applyTrainingLink loads one provenance link's service document, dataset,
+// and optimizer state, then reproduces its training on net. It is used by
+// the adaptive approach to apply a single provenance step inside a chain
+// that mixes approaches.
+func (p *Provenance) applyTrainingLink(id string, doc modelDoc, net nn.Module, opts RecoverOptions) (RecoverTiming, error) {
+	var timing RecoverTiming
+	t0 := time.Now()
+	svcRaw, err := p.stores.Meta.Get(ColServices, doc.ServiceDocID)
+	if err != nil {
+		return timing, fmt.Errorf("core: loading train service %s: %w", doc.ServiceDocID, err)
+	}
+	var svcDoc train.ServiceDoc
+	if err := mapToDoc(svcRaw, &svcDoc); err != nil {
+		return timing, err
+	}
+	ds, err := p.loadDataset(svcDoc.DatasetRef)
+	if err != nil {
+		return timing, err
+	}
+	var optState []byte
+	if ref := svcDoc.Wrappers["optimizer"].StateFileRef; ref != "" {
+		optState, err = p.stores.Files.ReadAll(ref)
+		if err != nil {
+			return timing, fmt.Errorf("core: loading optimizer state: %w", err)
+		}
+	}
+	timing.Load = time.Since(t0)
+
+	if opts.CheckEnv {
+		env, err := envFromDoc(p.stores.Meta, doc.EnvDocID)
+		if err != nil {
+			return timing, err
+		}
+		t2 := time.Now()
+		if err := environment.Check(env); err != nil {
+			return timing, err
+		}
+		timing.CheckEnv = time.Since(t2)
+	}
+
+	t1 := time.Now()
+	restoreTrainable(net, doc.TrainablePrefixes)
+	svc, err := train.Restore(svcDoc, ds, optState)
+	if err != nil {
+		return timing, err
+	}
+	if _, err := svc.Train(net); err != nil {
+		return timing, fmt.Errorf("core: reproducing training for %s: %w", id, err)
+	}
+	timing.Recover = time.Since(t1)
+	return timing, nil
+}
+
+func (p *Provenance) loadDataset(ref string) (*dataset.Dataset, error) {
+	if ref == "" {
+		return nil, fmt.Errorf("core: provenance document has no dataset reference")
+	}
+	if len(ref) > 9 && ref[:9] == "external:" {
+		if p.ResolveDataset == nil {
+			return nil, fmt.Errorf("core: dataset %q is externally managed but no resolver is configured", ref)
+		}
+		return p.ResolveDataset(ref[9:])
+	}
+	rc, err := p.stores.Files.Open(ref)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening dataset archive %s: %w", ref, err)
+	}
+	defer rc.Close()
+	ds, err := dataset.ReadArchive(rc)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading dataset archive: %w", err)
+	}
+	return ds, nil
+}

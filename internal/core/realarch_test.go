@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+// The provenance approach must reproduce training bit-identically on a real
+// evaluation architecture. MobileNetV2 matters here: its classifier uses
+// Dropout, so recovery only works because the training RNG is seeded and
+// recorded (Section 2.3's "intentional randomness").
+func TestMPARecoversMobileNetV2WithDropout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-architecture training")
+	}
+	stores := testStores(t)
+	mpa := NewProvenance(stores)
+
+	arch := models.MobileNetV2Name
+	spec := models.Spec{Arch: arch, NumClasses: 1000}
+	net, err := models.New(arch, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := mpa.Save(SaveInfo{Spec: spec, Net: net, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := dataset.Generate(dataset.Spec{Name: "mnv2", Images: 8, H: 16, W: 16, Classes: 1000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := train.NewDataLoader(ds, train.LoaderConfig{BatchSize: 2, OutH: 16, OutW: 16, Shuffle: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := train.NewImageClassifierTrainService(
+		train.ServiceConfig{Epochs: 1, BatchesPerEpoch: 1, Seed: 8, Deterministic: true},
+		loader, train.NewSGD(train.SGDConfig{LR: 0.01, Momentum: 0.9}))
+	rec, err := NewProvenanceRecord(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Train(net); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := mpa.Save(SaveInfo{Spec: spec, Net: net, BaseID: u1.ID, WithChecksums: true, Provenance: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mpa.Recover(res.ID, RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nn.StateDictOf(got.Net).Equal(nn.StateDictOf(net)) {
+		t.Fatal("MPA failed to reproduce MobileNetV2 training (dropout seeding broken?)")
+	}
+}
+
+// Partially updated ResNet-18 through the PUA: the realistic fine-tuning
+// scenario the paper's headline numbers come from. Only classifier and
+// BatchNorm-buffer layers may appear in the update.
+func TestPUAPartialResNet18UpdateContents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-architecture training")
+	}
+	stores := testStores(t)
+	pua := NewParamUpdate(stores)
+
+	arch := models.ResNet18Name
+	spec := models.Spec{Arch: arch, NumClasses: 1000}
+	net, err := models.New(arch, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := pua.Save(SaveInfo{Spec: spec, Net: net, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	models.FreezeForPartialUpdate(arch, net)
+	// Update only the classifier, as a fine-tuning step would (optimizer
+	// updates only trainable parameters).
+	for _, p := range nn.NamedParams(net) {
+		if p.Param.Trainable {
+			d := p.Param.Value.Data()
+			for i := range d {
+				d[i] += 1e-3
+			}
+		}
+	}
+	res, err := pua.Save(SaveInfo{Spec: spec, Net: net, BaseID: u1.ID, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The update holds exactly the classifier layer.
+	doc, err := getModelDoc(stores.Meta, res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.UpdatedLayers) != 1 || doc.UpdatedLayers[0] != "fc" {
+		t.Fatalf("updated layers = %v, want [fc]", doc.UpdatedLayers)
+	}
+	// Paper headline shape: the update is a tiny fraction of the snapshot
+	// (513,000 of 11,689,512 parameters ≈ 4.4%).
+	if ratio := float64(res.FileBytes) / float64(u1.FileBytes); ratio > 0.06 {
+		t.Fatalf("partial update is %.1f%% of snapshot, want < 6%%", 100*ratio)
+	}
+	got, err := pua.Recover(res.ID, RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nn.StateDictOf(got.Net).Equal(nn.StateDictOf(net)) {
+		t.Fatal("recovered partial update differs")
+	}
+}

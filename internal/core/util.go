@@ -1,0 +1,8 @@
+package core
+
+import (
+	"bytes"
+	"io"
+)
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

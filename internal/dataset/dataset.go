@@ -1,0 +1,266 @@
+// Package dataset implements the labeled image datasets of the evaluation.
+//
+// The paper trains on ImageNet subsets and two custom COCO subsets
+// (Table 1). Neither is redistributable nor downloadable here, so the
+// package generates deterministic synthetic datasets whose on-disk sizes
+// match Table 1: pixels are drawn from a seeded PRNG with a label-dependent
+// bias (so models can actually fit them), stored at a resolution chosen so
+// that #images × H × W × 3 bytes equals the paper's dataset size. Synthetic
+// pixel noise is incompressible, matching the behaviour of the JPEG data
+// the paper archives: compressing the dataset to a single file (Section
+// 3.3, "Managing Data sets") yields an archive of essentially the raw size.
+package dataset
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Spec describes a synthetic dataset. Generation is fully determined by the
+// spec, so a spec in saved provenance data identifies the exact training
+// input.
+type Spec struct {
+	// Name is the dataset's short name (Table 1 uses e.g. "CF-512").
+	Name string `json:"name"`
+	// Images is the number of labeled images.
+	Images int `json:"images"`
+	// H, W are the stored image height and width; storage is H*W*3 bytes
+	// per image (RGB, one byte per channel).
+	H int `json:"h"`
+	W int `json:"w"`
+	// Classes is the number of distinct labels.
+	Classes int `json:"classes"`
+	// Seed determines the pixel and label content.
+	Seed uint64 `json:"seed"`
+}
+
+// SizeBytes returns the raw pixel payload size of the dataset.
+func (s Spec) SizeBytes() int64 {
+	return int64(s.Images) * int64(s.H) * int64(s.W) * 3
+}
+
+// Validate reports whether the spec is generable.
+func (s Spec) Validate() error {
+	if s.Images <= 0 || s.H <= 0 || s.W <= 0 {
+		return fmt.Errorf("dataset: invalid spec %+v", s)
+	}
+	if s.Classes <= 0 {
+		return fmt.Errorf("dataset: spec %q needs at least one class", s.Name)
+	}
+	return nil
+}
+
+// Dataset is an in-memory synthetic dataset: labels plus raw RGB bytes.
+type Dataset struct {
+	Spec   Spec
+	Labels []uint16
+	// Pixels holds Images*H*W*3 bytes, image-major.
+	Pixels []byte
+}
+
+// Generate materializes the dataset described by the spec.
+func Generate(s Spec) (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Spec:   s,
+		Labels: make([]uint16, s.Images),
+		Pixels: make([]byte, s.SizeBytes()),
+	}
+	rng := tensor.NewRNG(s.Seed)
+	per := s.H * s.W * 3
+	for i := 0; i < s.Images; i++ {
+		label := uint16(rng.Intn(s.Classes))
+		d.Labels[i] = label
+		img := d.Pixels[i*per : (i+1)*per]
+		// Random pixels with a per-label brightness bias: incompressible
+		// (like JPEG payloads) yet learnable.
+		bias := byte(32 + int(label)*160/s.Classes)
+		fillRandom(rng, img, bias)
+	}
+	return d, nil
+}
+
+// fillRandom fills img with pseudo-random bytes, mixing in a label bias.
+func fillRandom(rng *tensor.RNG, img []byte, bias byte) {
+	i := 0
+	for ; i+8 <= len(img); i += 8 {
+		v := rng.Uint64()
+		binary.LittleEndian.PutUint64(img[i:], v)
+		// Pull a quarter of the bytes toward the label's brightness band so
+		// a classifier has signal to fit.
+		img[i] = img[i]/4 + bias
+		img[i+4] = img[i+4]/4 + bias
+	}
+	for ; i < len(img); i++ {
+		img[i] = byte(rng.Uint64())
+	}
+}
+
+// Len returns the number of images.
+func (d *Dataset) Len() int { return d.Spec.Images }
+
+// Label returns the label of image i.
+func (d *Dataset) Label(i int) int { return int(d.Labels[i]) }
+
+// Image decodes image i into a [3, outH, outW] float32 tensor in [0, 1],
+// resizing from the stored resolution by nearest-neighbour sampling — the
+// preprocessing/dataloader step of the paper's training pipeline.
+func (d *Dataset) Image(i, outH, outW int) *tensor.Tensor {
+	h, w := d.Spec.H, d.Spec.W
+	per := h * w * 3
+	img := d.Pixels[i*per : (i+1)*per]
+	out := tensor.Zeros(3, outH, outW)
+	od := out.Data()
+	for c := 0; c < 3; c++ {
+		for y := 0; y < outH; y++ {
+			sy := y * h / outH
+			for x := 0; x < outW; x++ {
+				sx := x * w / outW
+				// Stored layout is interleaved RGB.
+				od[(c*outH+y)*outW+x] = float32(img[(sy*w+sx)*3+c]) / 255
+			}
+		}
+	}
+	return out
+}
+
+// Hash returns the hex SHA-256 of the dataset's content (spec, labels,
+// pixels). It identifies the training data in provenance records.
+func (d *Dataset) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%d|", d.Spec.Name, d.Spec.Images, d.Spec.H, d.Spec.W, d.Spec.Classes, d.Spec.Seed)
+	for _, l := range d.Labels {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], l)
+		h.Write(b[:])
+	}
+	h.Write(d.Pixels)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Binary record format used inside archives (little endian):
+//
+//	magic   uint32 0x53444d4d ("MMDS")
+//	version uint16 1
+//	nameLen uint16, name bytes
+//	images, h, w, classes uint32; seed uint64
+//	images × { label uint16, h*w*3 pixel bytes }
+const (
+	dsMagic   = 0x53444d4d
+	dsVersion = 1
+)
+
+// WriteTo serializes the dataset (uncompressed) and returns bytes written.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	var scratch [8]byte
+	put := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], dsMagic)
+	binary.LittleEndian.PutUint16(scratch[4:6], dsVersion)
+	if err := put(scratch[:6]); err != nil {
+		return n, err
+	}
+	if len(d.Spec.Name) > 0xffff {
+		return n, fmt.Errorf("dataset: name too long")
+	}
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(d.Spec.Name)))
+	if err := put(scratch[:2]); err != nil {
+		return n, err
+	}
+	if err := put([]byte(d.Spec.Name)); err != nil {
+		return n, err
+	}
+	for _, v := range []int{d.Spec.Images, d.Spec.H, d.Spec.W, d.Spec.Classes} {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(v))
+		if err := put(scratch[:4]); err != nil {
+			return n, err
+		}
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], d.Spec.Seed)
+	if err := put(scratch[:8]); err != nil {
+		return n, err
+	}
+	per := d.Spec.H * d.Spec.W * 3
+	for i := 0; i < d.Spec.Images; i++ {
+		binary.LittleEndian.PutUint16(scratch[:2], d.Labels[i])
+		if err := put(scratch[:2]); err != nil {
+			return n, err
+		}
+		if err := put(d.Pixels[i*per : (i+1)*per]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a dataset written by WriteTo.
+func ReadFrom(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:6]); err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != dsMagic {
+		return nil, fmt.Errorf("dataset: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != dsVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", v)
+	}
+	if _, err := io.ReadFull(br, hdr[:2]); err != nil {
+		return nil, err
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(hdr[:2]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var dims [4]uint32
+	for i := range dims {
+		if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+			return nil, err
+		}
+		dims[i] = binary.LittleEndian.Uint32(hdr[:4])
+	}
+	if _, err := io.ReadFull(br, hdr[:8]); err != nil {
+		return nil, err
+	}
+	s := Spec{
+		Name:    string(name),
+		Images:  int(dims[0]),
+		H:       int(dims[1]),
+		W:       int(dims[2]),
+		Classes: int(dims[3]),
+		Seed:    binary.LittleEndian.Uint64(hdr[:8]),
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Spec:   s,
+		Labels: make([]uint16, s.Images),
+		Pixels: make([]byte, s.SizeBytes()),
+	}
+	per := s.H * s.W * 3
+	for i := 0; i < s.Images; i++ {
+		if _, err := io.ReadFull(br, hdr[:2]); err != nil {
+			return nil, fmt.Errorf("dataset: reading record %d: %w", i, err)
+		}
+		d.Labels[i] = binary.LittleEndian.Uint16(hdr[:2])
+		if _, err := io.ReadFull(br, d.Pixels[i*per:(i+1)*per]); err != nil {
+			return nil, fmt.Errorf("dataset: reading pixels %d: %w", i, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,263 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func smallSpec() Spec {
+	return Spec{Name: "test", Images: 20, H: 16, W: 16, Classes: 4, Seed: 1}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same spec must generate identical datasets")
+	}
+	s2 := smallSpec()
+	s2.Seed = 2
+	c, _ := Generate(s2)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Images: 0, H: 8, W: 8, Classes: 2},
+		{Name: "x", Images: 2, H: 0, W: 8, Classes: 2},
+		{Name: "x", Images: 2, H: 8, W: 8, Classes: 0},
+	}
+	for _, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Fatalf("expected error for %+v", s)
+		}
+	}
+}
+
+func TestLabelsInRange(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if l := d.Label(i); l < 0 || l >= d.Spec.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestImageDecoding(t *testing.T) {
+	d, err := Generate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := d.Image(0, 8, 8)
+	if img.NDim() != 3 || img.Dim(0) != 3 || img.Dim(1) != 8 || img.Dim(2) != 8 {
+		t.Fatalf("image shape %v", img.Shape())
+	}
+	for _, v := range img.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+	}
+	// Decoding is deterministic.
+	if !img.Equal(d.Image(0, 8, 8)) {
+		t.Fatal("decode not deterministic")
+	}
+	// Upsampling works too.
+	up := d.Image(0, 32, 32)
+	if up.Dim(1) != 32 {
+		t.Fatalf("upsample shape %v", up.Shape())
+	}
+}
+
+func TestLabelSignalPresent(t *testing.T) {
+	// Images of different labels should have different mean brightness
+	// (the learnable bias fillRandom injects).
+	s := Spec{Name: "sig", Images: 200, H: 12, W: 12, Classes: 2, Seed: 9}
+	d, _ := Generate(s)
+	var mean [2]float64
+	var count [2]int
+	for i := 0; i < d.Len(); i++ {
+		img := d.Image(i, 12, 12)
+		var sum float64
+		for _, v := range img.Data() {
+			sum += float64(v)
+		}
+		l := d.Label(i)
+		mean[l] += sum / float64(img.Len())
+		count[l]++
+	}
+	m0, m1 := mean[0]/float64(count[0]), mean[1]/float64(count[1])
+	if math.Abs(m0-m1) < 0.02 {
+		t.Fatalf("labels indistinguishable: %v vs %v", m0, m1)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	s := smallSpec()
+	if s.SizeBytes() != int64(20*16*16*3) {
+		t.Fatalf("SizeBytes = %d", s.SizeBytes())
+	}
+	d, _ := Generate(s)
+	if int64(len(d.Pixels)) != s.SizeBytes() {
+		t.Fatal("payload size mismatch")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	d, _ := Generate(smallSpec())
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != d.Hash() {
+		t.Fatal("round trip changed content")
+	}
+	if got.Spec != d.Spec {
+		t.Fatalf("spec round trip: %+v vs %+v", got.Spec, d.Spec)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("garbage")); err == nil {
+		t.Fatal("expected error")
+	}
+	d, _ := Generate(smallSpec())
+	var buf bytes.Buffer
+	d.WriteTo(&buf)
+	raw := buf.Bytes()
+	if _, err := ReadFrom(bytes.NewReader(raw[:len(raw)-10])); err == nil {
+		t.Fatal("expected error for truncation")
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	d, _ := Generate(smallSpec())
+	var buf bytes.Buffer
+	n, err := d.WriteArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("archive reported %d, wrote %d", n, buf.Len())
+	}
+	got, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != d.Hash() {
+		t.Fatal("archive round trip changed content")
+	}
+}
+
+func TestArchiveIncompressible(t *testing.T) {
+	// Synthetic noise should not compress much: the archive must stay
+	// within a few percent of the raw size (mirroring JPEG payloads).
+	d, _ := Generate(Spec{Name: "big", Images: 64, H: 32, W: 32, Classes: 10, Seed: 5})
+	var buf bytes.Buffer
+	d.WriteArchive(&buf)
+	raw := float64(d.Spec.SizeBytes())
+	compressed := float64(buf.Len())
+	if compressed < raw*0.80 {
+		t.Fatalf("archive too compressible: %.0f of %.0f raw bytes", compressed, raw)
+	}
+}
+
+func TestReadArchiveRejectsGarbage(t *testing.T) {
+	if _, err := ReadArchive(strings.NewReader("not gzip")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Table 1 of the paper: dataset sizes at scale 1 must match the published
+// numbers (6.3 GB / 200 MB / 94.3 MB / 71.6 MB) within 2%.
+func TestTable1SizesAtScale1(t *testing.T) {
+	want := map[string]float64{
+		"INet_val":  6.3e9,
+		"mINet_val": 200e6,
+		"CF-512":    94.3e6,
+		"CO-512":    71.6e6,
+	}
+	wantImages := map[string]int{
+		"INet_val":  50000,
+		"mINet_val": 1400,
+		"CF-512":    512,
+		"CO-512":    512,
+	}
+	for _, s := range Table1(1.0) {
+		got := float64(s.SizeBytes())
+		if math.Abs(got-want[s.Name])/want[s.Name] > 0.02 {
+			t.Errorf("%s: %.1f MB, want %.1f MB", s.Name, got/1e6, want[s.Name]/1e6)
+		}
+		if s.Images != wantImages[s.Name] {
+			t.Errorf("%s: %d images, want %d", s.Name, s.Images, wantImages[s.Name])
+		}
+	}
+}
+
+func TestScalingPreservesRatios(t *testing.T) {
+	cf := CF512(0.01)
+	co := CO512(0.01)
+	// CF stays larger than CO at any scale.
+	if cf.SizeBytes() <= co.SizeBytes() {
+		t.Fatalf("scaled CF (%d) not larger than CO (%d)", cf.SizeBytes(), co.SizeBytes())
+	}
+	// COCO subsets keep 512 images.
+	if cf.Images != 512 || co.Images != 512 {
+		t.Fatal("scaled COCO subsets must keep 512 images")
+	}
+	// ImageNet variants scale counts.
+	if INetVal(0.01).Images >= INetVal(1).Images {
+		t.Fatal("scaled INet must have fewer images")
+	}
+}
+
+// Property: any valid small spec round-trips through serialization.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(img, cls uint8, seed uint64) bool {
+		s := Spec{
+			Name:    "prop",
+			Images:  int(img)%10 + 1,
+			H:       8,
+			W:       8,
+			Classes: int(cls)%5 + 1,
+			Seed:    seed,
+		}
+		d, err := Generate(s)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := d.WriteArchive(&buf); err != nil {
+			return false
+		}
+		got, err := ReadArchive(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Hash() == d.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

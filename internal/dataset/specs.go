@@ -1,0 +1,67 @@
+package dataset
+
+import "math"
+
+// Canonical dataset specs matching Table 1 of the paper. At scale 1.0 the
+// raw payload sizes match the paper's dataset sizes:
+//
+//	INet_val   50,000 images, 6.3 GB   (U2)
+//	mINet_val   1,400 images, 200 MB   (U2)
+//	CF-512        512 images, 94.3 MB  (U3)
+//	CO-512        512 images, 71.6 MB  (U3)
+//
+// The scale parameter shrinks datasets for fast runs: the COCO subsets keep
+// their 512-image count and scale resolution (preserving the ~23 MB CF/CO
+// size delta proportionally), while the ImageNet variants keep their
+// per-image size and scale the image count.
+
+// Classes matches the 1000 ImageNet categories the paper's models classify.
+const Classes = 1000
+
+// scaleDim scales a stored resolution by sqrt(scale) so payload bytes scale
+// linearly, with a floor that keeps images decodable.
+func scaleDim(dim int, scale float64) int {
+	v := int(math.Round(float64(dim) * math.Sqrt(scale)))
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+func scaleCount(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// INetVal is the ImageNet 2012 validation set equivalent (6.3 GB at scale
+// 1). The paper uses it only to pre-train the U2 model, a step it excludes
+// from comparison plots.
+func INetVal(scale float64) Spec {
+	return Spec{Name: "INet_val", Images: scaleCount(50000, scale), H: 205, W: 205, Classes: Classes, Seed: 101}
+}
+
+// MINetVal is the mini ImageNet validation equivalent (200 MB at scale 1),
+// the dataset the paper's provenance runs use for U2.
+func MINetVal(scale float64) Spec {
+	return Spec{Name: "mINet_val", Images: scaleCount(1400, scale), H: 218, W: 218, Classes: Classes, Seed: 102}
+}
+
+// CF512 is the Coco-food-512 equivalent (94.3 MB at scale 1), used for U3.
+func CF512(scale float64) Spec {
+	return Spec{Name: "CF-512", Images: 512, H: scaleDim(248, scale), W: scaleDim(248, scale), Classes: Classes, Seed: 103}
+}
+
+// CO512 is the Coco-outdoor-512 equivalent (71.6 MB at scale 1), used for
+// U3.
+func CO512(scale float64) Spec {
+	return Spec{Name: "CO-512", Images: 512, H: scaleDim(216, scale), W: scaleDim(216, scale), Classes: Classes, Seed: 104}
+}
+
+// Table1 returns the four evaluation dataset specs at the given scale, in
+// the paper's order.
+func Table1(scale float64) []Spec {
+	return []Spec{INetVal(scale), MINetVal(scale), CF512(scale), CO512(scale)}
+}

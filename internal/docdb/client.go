@@ -1,0 +1,129 @@
+package docdb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a Store implementation that talks to a Server over TCP. A single
+// connection is shared and serialized; the save/recover protocol of the
+// paper issues metadata operations sequentially per node, so one connection
+// per actor is the natural shape.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	addr string
+}
+
+// Dial connects to a docdb server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("docdb: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn, addr: addr}, nil
+}
+
+var _ Store = (*Client)(nil)
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return response{}, errors.New("docdb: client closed")
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		return response{}, fmt.Errorf("docdb: sending request: %w", err)
+	}
+	var resp response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return response{}, fmt.Errorf("docdb: reading response: %w", err)
+	}
+	if !resp.OK {
+		if resp.Error == ErrNotFound.Error() {
+			return response{}, ErrNotFound
+		}
+		return response{}, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Insert implements Store.
+func (c *Client) Insert(collection string, doc Document) (string, error) {
+	resp, err := c.roundTrip(request{Op: "insert", Collection: collection, Doc: doc})
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Put implements Store.
+func (c *Client) Put(collection, id string, doc Document) error {
+	_, err := c.roundTrip(request{Op: "put", Collection: collection, ID: id, Doc: doc})
+	return err
+}
+
+// Get implements Store.
+func (c *Client) Get(collection, id string) (Document, error) {
+	resp, err := c.roundTrip(request{Op: "get", Collection: collection, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Doc, nil
+}
+
+// Delete implements Store.
+func (c *Client) Delete(collection, id string) error {
+	_, err := c.roundTrip(request{Op: "delete", Collection: collection, ID: id})
+	return err
+}
+
+// Find implements Store.
+func (c *Client) Find(collection string, eq Document) ([]Document, error) {
+	resp, err := c.roundTrip(request{Op: "find", Collection: collection, Filter: eq})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// IDs implements Store.
+func (c *Client) IDs(collection string) ([]string, error) {
+	resp, err := c.roundTrip(request{Op: "ids", Collection: collection})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Stats implements Store.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(request{Op: "stats"})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("docdb: server returned no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// Ping checks connectivity to the server.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(request{Op: "ping"})
+	return err
+}
+
+// Close implements Store.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

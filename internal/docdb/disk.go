@@ -1,0 +1,198 @@
+package docdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// DiskStore is a directory-backed document store. Every document is one JSON
+// file at <root>/<collection>/<id>.json, which makes stored metadata easy to
+// inspect and gives an honest on-disk byte count for the storage-consumption
+// experiments.
+type DiskStore struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// OpenDisk opens (creating if necessary) a disk store rooted at dir.
+func OpenDisk(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docdb: creating root: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+var _ Store = (*DiskStore)(nil)
+
+func (s *DiskStore) colDir(collection string) (string, error) {
+	if collection == "" || strings.ContainsAny(collection, "/\\") {
+		return "", fmt.Errorf("docdb: invalid collection name %q", collection)
+	}
+	return filepath.Join(s.root, collection), nil
+}
+
+func (s *DiskStore) docPath(collection, id string) (string, error) {
+	dir, err := s.colDir(collection)
+	if err != nil {
+		return "", err
+	}
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return "", fmt.Errorf("docdb: invalid document id %q", id)
+	}
+	return filepath.Join(dir, id+".json"), nil
+}
+
+// Insert implements Store.
+func (s *DiskStore) Insert(collection string, doc Document) (string, error) {
+	id := NewID()
+	return id, s.Put(collection, id, doc)
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(collection, id string, doc Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, err := s.docPath(collection, id)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("docdb: creating collection: %w", err)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("docdb: marshaling document: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("docdb: writing document: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("docdb: committing document: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(collection, id string) (Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	path, err := s.docPath(collection, id)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("docdb: reading document: %w", err)
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("docdb: decoding document %s/%s: %w", collection, id, err)
+	}
+	return doc, nil
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(collection, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, err := s.docPath(collection, id)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(path)
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// Find implements Store.
+func (s *DiskStore) Find(collection string, eq Document) ([]Document, error) {
+	ids, err := s.IDs(collection)
+	if err != nil {
+		return nil, err
+	}
+	var out []Document
+	for _, id := range ids {
+		doc, err := s.Get(collection, id)
+		if err == ErrNotFound {
+			continue // raced with a delete
+		}
+		if err != nil {
+			return nil, err
+		}
+		if matches(doc, eq) {
+			out = append(out, doc)
+		}
+	}
+	return out, nil
+}
+
+// IDs implements Store.
+func (s *DiskStore) IDs(collection string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dir, err := s.colDir(collection)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("docdb: listing collection: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".json") {
+			ids = append(ids, strings.TrimSuffix(name, ".json"))
+		}
+	}
+	return ids, nil
+}
+
+// Stats implements Store.
+func (s *DiskStore) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st Stats
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return Stats{}, fmt.Errorf("docdb: listing root: %w", err)
+	}
+	for _, col := range entries {
+		if !col.IsDir() {
+			continue
+		}
+		st.Collections++
+		docs, err := os.ReadDir(filepath.Join(s.root, col.Name()))
+		if err != nil {
+			return Stats{}, err
+		}
+		for _, d := range docs {
+			if !strings.HasSuffix(d.Name(), ".json") {
+				continue
+			}
+			info, err := d.Info()
+			if err != nil {
+				return Stats{}, err
+			}
+			st.Documents++
+			st.SizeBytes += info.Size()
+		}
+	}
+	return st, nil
+}
+
+// Close implements Store. It is a no-op for the disk engine.
+func (s *DiskStore) Close() error { return nil }

@@ -1,0 +1,112 @@
+// Package docdb implements the document database used to persist model
+// metadata. The paper stores its JSON documents in MongoDB running on a
+// dedicated machine; docdb substitutes an embedded JSON document store with
+// the same operational surface (collections, generated identifiers,
+// field-equality queries) plus a TCP server and client so documents can
+// round-trip a real network socket like in the paper's three-machine setup.
+package docdb
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Document is a JSON-style document. Values must be JSON-marshalable.
+type Document map[string]any
+
+// ErrNotFound is returned when a document or collection does not exist.
+var ErrNotFound = errors.New("docdb: not found")
+
+// Store is the common interface implemented by the in-memory engine, the
+// on-disk engine, and the network client. All implementations are safe for
+// concurrent use.
+type Store interface {
+	// Insert stores doc in the named collection under a freshly generated
+	// identifier and returns that identifier.
+	Insert(collection string, doc Document) (string, error)
+	// Put stores doc under the given identifier, overwriting any existing
+	// document with that identifier.
+	Put(collection, id string, doc Document) error
+	// Get returns the document with the given identifier, or ErrNotFound.
+	Get(collection, id string) (Document, error)
+	// Delete removes the document with the given identifier. Deleting a
+	// missing document returns ErrNotFound.
+	Delete(collection, id string) error
+	// Find returns all documents in the collection whose fields match every
+	// key/value pair in eq. A nil or empty eq matches every document.
+	Find(collection string, eq Document) ([]Document, error)
+	// IDs returns the identifiers of all documents in the collection in
+	// unspecified order.
+	IDs(collection string) ([]string, error)
+	// Stats returns storage statistics for the whole store.
+	Stats() (Stats, error)
+	// Close releases resources held by the store.
+	Close() error
+}
+
+// Stats summarizes a store's contents. SizeBytes counts the serialized JSON
+// size of every document; it is the metadata share of the paper's storage
+// consumption metric.
+type Stats struct {
+	Collections int   `json:"collections"`
+	Documents   int   `json:"documents"`
+	SizeBytes   int64 `json:"size_bytes"`
+}
+
+// NewID generates a 16-byte random hex identifier. Identifiers do not need
+// to be reproducible, only unique, so a cryptographic source is used.
+func NewID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("docdb: id generation failed: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// matches reports whether doc satisfies all equality constraints in eq.
+// Comparison is by fmt.Sprint rendering so numeric types that JSON decodes
+// differently (int vs float64) still compare equal.
+func matches(doc, eq Document) bool {
+	for k, want := range eq {
+		got, ok := doc[k]
+		if !ok {
+			return false
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// clone deep-copies a document one level deep plus nested maps/slices that
+// came from JSON decoding, so callers can mutate results safely.
+func clone(doc Document) Document {
+	if doc == nil {
+		return nil
+	}
+	out := make(Document, len(doc))
+	for k, v := range doc {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+func cloneValue(v any) any {
+	switch x := v.(type) {
+	case Document:
+		return clone(x)
+	case map[string]any:
+		return clone(Document(x))
+	case []any:
+		c := make([]any, len(x))
+		for i, e := range x {
+			c[i] = cloneValue(e)
+		}
+		return c
+	default:
+		return v
+	}
+}

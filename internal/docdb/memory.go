@@ -1,0 +1,117 @@
+package docdb
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// MemStore is an in-memory document store. It is the engine the embedded
+// server uses and is also handy for tests.
+type MemStore struct {
+	mu          sync.RWMutex
+	collections map[string]map[string]Document
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{collections: make(map[string]map[string]Document)}
+}
+
+var _ Store = (*MemStore)(nil)
+
+// Insert implements Store.
+func (s *MemStore) Insert(collection string, doc Document) (string, error) {
+	id := NewID()
+	return id, s.Put(collection, id, doc)
+}
+
+// Put implements Store.
+func (s *MemStore) Put(collection, id string, doc Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	col, ok := s.collections[collection]
+	if !ok {
+		col = make(map[string]Document)
+		s.collections[collection] = col
+	}
+	col[id] = clone(doc)
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(collection, id string) (Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	col, ok := s.collections[collection]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	doc, ok := col[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return clone(doc), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(collection, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	col, ok := s.collections[collection]
+	if !ok {
+		return ErrNotFound
+	}
+	if _, ok := col[id]; !ok {
+		return ErrNotFound
+	}
+	delete(col, id)
+	return nil
+}
+
+// Find implements Store.
+func (s *MemStore) Find(collection string, eq Document) ([]Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	col := s.collections[collection]
+	var out []Document
+	for _, doc := range col {
+		if matches(doc, eq) {
+			out = append(out, clone(doc))
+		}
+	}
+	return out, nil
+}
+
+// IDs implements Store.
+func (s *MemStore) IDs(collection string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	col := s.collections[collection]
+	ids := make([]string, 0, len(col))
+	for id := range col {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st Stats
+	st.Collections = len(s.collections)
+	for _, col := range s.collections {
+		st.Documents += len(col)
+		for _, doc := range col {
+			b, err := json.Marshal(doc)
+			if err != nil {
+				return Stats{}, err
+			}
+			st.SizeBytes += int64(len(b))
+		}
+	}
+	return st, nil
+}
+
+// Close implements Store. It is a no-op for the in-memory engine.
+func (s *MemStore) Close() error { return nil }

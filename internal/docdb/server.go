@@ -1,0 +1,148 @@
+package docdb
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Server exposes a Store over TCP using the docdb wire protocol. It plays
+// the role of the dedicated MongoDB machine in the paper's evaluation setup.
+type Server struct {
+	backend Store
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server backed by the given store, listening on addr
+// (e.g. "127.0.0.1:0"). The server starts serving immediately.
+func NewServer(backend Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				log.Printf("docdb: connection error: %v", err)
+			}
+			return
+		}
+		resp := s.handle(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	fail := func(err error) response { return response{Error: err.Error()} }
+	switch req.Op {
+	case "insert":
+		id, err := s.backend.Insert(req.Collection, req.Doc)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, ID: id}
+	case "put":
+		if err := s.backend.Put(req.Collection, req.ID, req.Doc); err != nil {
+			return fail(err)
+		}
+		return response{OK: true}
+	case "get":
+		doc, err := s.backend.Get(req.Collection, req.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Doc: doc}
+	case "delete":
+		if err := s.backend.Delete(req.Collection, req.ID); err != nil {
+			return fail(err)
+		}
+		return response{OK: true}
+	case "find":
+		docs, err := s.backend.Find(req.Collection, req.Filter)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Docs: docs}
+	case "ids":
+		ids, err := s.backend.IDs(req.Collection)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, IDs: ids}
+	case "stats":
+		st, err := s.backend.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Stats: &st}
+	case "ping":
+		return response{OK: true}
+	default:
+		return response{Error: "docdb: unknown operation " + req.Op}
+	}
+}
+
+// Close stops accepting connections, closes live connections, and waits for
+// handlers to finish. The backend store is not closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

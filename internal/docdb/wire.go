@@ -1,0 +1,69 @@
+package docdb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: every message is a uint32 little-endian length prefix
+// followed by that many bytes of JSON. Requests carry an operation name and
+// operands; responses carry either results or an error string. The framing
+// is deliberately simple — what the reproduction needs from "MongoDB on a
+// third machine" is a real network boundary for metadata, not an efficient
+// binary protocol.
+
+// maxFrame bounds a single message to guard against corrupt length prefixes.
+const maxFrame = 64 << 20 // 64 MiB
+
+type request struct {
+	Op         string   `json:"op"`
+	Collection string   `json:"collection,omitempty"`
+	ID         string   `json:"id,omitempty"`
+	Doc        Document `json:"doc,omitempty"`
+	Filter     Document `json:"filter,omitempty"`
+}
+
+type response struct {
+	OK    bool       `json:"ok"`
+	Error string     `json:"error,omitempty"`
+	ID    string     `json:"id,omitempty"`
+	Doc   Document   `json:"doc,omitempty"`
+	Docs  []Document `json:"docs,omitempty"`
+	IDs   []string   `json:"ids,omitempty"`
+	Stats *Stats     `json:"stats,omitempty"`
+}
+
+func writeFrame(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("docdb: encoding frame: %w", err)
+	}
+	if len(b) > maxFrame {
+		return fmt.Errorf("docdb: frame of %d bytes exceeds limit", len(b))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("docdb: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}

@@ -1,0 +1,91 @@
+package docdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := request{Op: "get", Collection: "c", ID: "x"}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Collection != in.Collection || out.ID != in.ID {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+	var out request
+	if err := readFrame(bytes.NewReader(hdr[:]), &out); err == nil {
+		t.Fatal("expected error for oversized frame")
+	}
+}
+
+func TestReadFrameRejectsTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, request{Op: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	var out request
+	if err := readFrame(bytes.NewReader(raw[:len(raw)-2]), &out); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+func TestReadFrameRejectsGarbageJSON(t *testing.T) {
+	body := []byte("{not json")
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	var out request
+	if err := readFrame(&buf, &out); err == nil {
+		t.Fatal("expected error for bad JSON")
+	}
+}
+
+func TestWriteFrameRejectsUnmarshalable(t *testing.T) {
+	if err := writeFrame(&bytes.Buffer{}, func() {}); err == nil {
+		t.Fatal("expected error for unmarshalable value")
+	}
+}
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	srv, err := NewServer(NewMemStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A connection that sends garbage must not take the server down.
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.conn.Write([]byte(strings.Repeat("x", 64)))
+	c.mu.Unlock()
+	c.Close()
+
+	// A healthy client still works afterwards.
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

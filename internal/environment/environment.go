@@ -1,0 +1,152 @@
+// Package environment captures and checks the execution environment of a
+// model. The paper records "the framework version, all third-party
+// libraries, the language interpreter, operating system kernel, as well as
+// the driver versions, and the hardware specification" with every saved
+// model, because floating-point results are only reproducible on equivalent
+// software and hardware (Section 2.3). On recovery, the recorded
+// environment is checked against the current one — the "check env" step
+// whose constant cost Figure 12 reports separately.
+package environment
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Version identifies this library; it plays the role of the DL framework
+// version (the paper records PyTorch 1.7.1 / torchvision 0.8.2).
+const Version = "mmlib-go 1.0.0"
+
+// Info describes an execution environment.
+type Info struct {
+	// Framework is the deep-learning framework identification.
+	Framework string `json:"framework"`
+	// Language is the language runtime version (Go version here, the
+	// Python interpreter in the paper).
+	Language string `json:"language"`
+	// OS and Arch identify the operating system and CPU architecture.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	// KernelVersion is the operating-system kernel version, best effort.
+	KernelVersion string `json:"kernel_version,omitempty"`
+	// NumCPU is the number of logical CPUs.
+	NumCPU int `json:"num_cpu"`
+	// CPUModel is the processor model string, best effort.
+	CPUModel string `json:"cpu_model,omitempty"`
+	// Hostname identifies the machine, recorded for provenance only; it is
+	// not part of the equivalence check (recovery on a different but
+	// identically configured machine is the paper's distributed setting).
+	Hostname string `json:"hostname,omitempty"`
+	// Libraries maps third-party library names to versions.
+	Libraries map[string]string `json:"libraries,omitempty"`
+}
+
+// Capture collects the current environment.
+func Capture() Info {
+	info := Info{
+		Framework: Version,
+		Language:  runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Libraries: map[string]string{
+			"tensor": "1.0.0",
+			"nn":     "1.0.0",
+		},
+	}
+	if hn, err := os.Hostname(); err == nil {
+		info.Hostname = hn
+	}
+	info.KernelVersion = readKernelVersion()
+	info.CPUModel = readCPUModel()
+	return info
+}
+
+func readKernelVersion() string {
+	b, err := os.ReadFile("/proc/sys/kernel/osrelease")
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+func readCPUModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.Index(line, ":"); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}
+
+// Mismatch describes one difference between a recorded and the current
+// environment.
+type Mismatch struct {
+	Field    string
+	Recorded string
+	Current  string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s: recorded %q, current %q", m.Field, m.Recorded, m.Current)
+}
+
+// Compare returns the differences between a recorded environment and the
+// current one that affect result reproducibility. Hostname differences are
+// ignored: the paper's whole point is recovering a model on a *different*
+// machine with an equivalent environment.
+func Compare(recorded, current Info) []Mismatch {
+	var out []Mismatch
+	add := func(field, rec, cur string) {
+		if rec != cur {
+			out = append(out, Mismatch{Field: field, Recorded: rec, Current: cur})
+		}
+	}
+	add("framework", recorded.Framework, current.Framework)
+	add("language", recorded.Language, current.Language)
+	add("os", recorded.OS, current.OS)
+	add("arch", recorded.Arch, current.Arch)
+	add("kernel_version", recorded.KernelVersion, current.KernelVersion)
+	add("cpu_model", recorded.CPUModel, current.CPUModel)
+
+	keys := map[string]bool{}
+	for k := range recorded.Libraries {
+		keys[k] = true
+	}
+	for k := range current.Libraries {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		add("library:"+k, recorded.Libraries[k], current.Libraries[k])
+	}
+	return out
+}
+
+// Check captures the current environment and verifies it is equivalent to
+// the recorded one, returning a descriptive error otherwise. This is the
+// recovery-time environment verification step of the paper.
+func Check(recorded Info) error {
+	mismatches := Compare(recorded, Capture())
+	if len(mismatches) == 0 {
+		return nil
+	}
+	parts := make([]string, len(mismatches))
+	for i, m := range mismatches {
+		parts[i] = m.String()
+	}
+	return fmt.Errorf("environment: %d mismatch(es): %s", len(mismatches), strings.Join(parts, "; "))
+}

@@ -1,0 +1,103 @@
+package environment
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCaptureBasics(t *testing.T) {
+	info := Capture()
+	if info.Framework != Version {
+		t.Fatalf("framework = %q", info.Framework)
+	}
+	if info.Language != runtime.Version() {
+		t.Fatalf("language = %q", info.Language)
+	}
+	if info.OS != runtime.GOOS || info.Arch != runtime.GOARCH {
+		t.Fatalf("os/arch = %s/%s", info.OS, info.Arch)
+	}
+	if info.NumCPU < 1 {
+		t.Fatalf("numcpu = %d", info.NumCPU)
+	}
+	if len(info.Libraries) == 0 {
+		t.Fatal("no libraries captured")
+	}
+}
+
+func TestCheckSameEnvironmentPasses(t *testing.T) {
+	if err := Check(Capture()); err != nil {
+		t.Fatalf("self-check failed: %v", err)
+	}
+}
+
+func TestCheckDetectsFrameworkMismatch(t *testing.T) {
+	rec := Capture()
+	rec.Framework = "pytorch 1.7.1"
+	err := Check(rec)
+	if err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestCompareIgnoresHostname(t *testing.T) {
+	rec := Capture()
+	rec.Hostname = "some-other-node"
+	if got := Compare(rec, Capture()); len(got) != 0 {
+		t.Fatalf("hostname must not count as mismatch: %v", got)
+	}
+}
+
+func TestCompareLibraries(t *testing.T) {
+	rec := Capture()
+	cur := Capture()
+	rec.Libraries = map[string]string{"tensor": "1.0.0", "extra": "2.0"}
+	cur.Libraries = map[string]string{"tensor": "1.0.1"}
+	got := Compare(rec, cur)
+	// tensor version differs, "extra" missing, "nn"… both maps replaced so
+	// exactly: tensor (1.0.0 vs 1.0.1) and extra (2.0 vs "").
+	if len(got) != 2 {
+		t.Fatalf("mismatches = %v", got)
+	}
+	for _, m := range got {
+		if m.String() == "" {
+			t.Fatal("empty mismatch description")
+		}
+	}
+}
+
+func TestCompareFieldByField(t *testing.T) {
+	base := Capture()
+	cases := []func(*Info){
+		func(i *Info) { i.Language = "go0.0" },
+		func(i *Info) { i.OS = "plan9" },
+		func(i *Info) { i.Arch = "wasm" },
+		func(i *Info) { i.KernelVersion = "0.0.0" },
+		func(i *Info) { i.CPUModel = "abacus" },
+	}
+	for n, mutate := range cases {
+		rec := base
+		rec.Libraries = nil
+		cur := base
+		cur.Libraries = nil
+		mutate(&rec)
+		if got := Compare(rec, cur); len(got) != 1 {
+			t.Fatalf("case %d: mismatches = %v", n, got)
+		}
+	}
+}
+
+func TestInfoJSONRoundTrip(t *testing.T) {
+	info := Capture()
+	b, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Info
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(Compare(info, got)) != 0 {
+		t.Fatal("JSON round trip changed environment info")
+	}
+}

@@ -1,0 +1,187 @@
+package evalflow
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docdb"
+	"repro/internal/filestore"
+)
+
+// UseCases returns the flow's use-case labels in execution order, without
+// node duplication.
+func (r *Result) UseCases() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range r.Measurements {
+		if !seen[m.UseCase] {
+			seen[m.UseCase] = true
+			out = append(out, m.UseCase)
+		}
+	}
+	return out
+}
+
+// perUseCase collects the measurements of one use case across nodes.
+func (r *Result) perUseCase(useCase string) []Measurement {
+	var out []Measurement
+	for _, m := range r.Measurements {
+		if m.UseCase == useCase {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MedianTTS returns the median time-to-save of a use case across nodes.
+func (r *Result) MedianTTS(useCase string) time.Duration {
+	ms := r.perUseCase(useCase)
+	ds := make([]time.Duration, len(ms))
+	for i, m := range ms {
+		ds[i] = m.Save.Duration
+	}
+	return medianDuration(ds)
+}
+
+// MedianTTR returns the median total time-to-recover of a use case across
+// nodes. It returns zero when TTR was not measured.
+func (r *Result) MedianTTR(useCase string) time.Duration {
+	ms := r.perUseCase(useCase)
+	var ds []time.Duration
+	for _, m := range ms {
+		if m.Recovered {
+			ds = append(ds, m.TTR.Total())
+		}
+	}
+	return medianDuration(ds)
+}
+
+// MedianStorage returns the median per-model storage consumption of a use
+// case across nodes. (The paper observes storage is constant across nodes
+// and runs; the median guards against identifier-length noise.)
+func (r *Result) MedianStorage(useCase string) int64 {
+	ms := r.perUseCase(useCase)
+	vals := make([]int64, len(ms))
+	for i, m := range ms {
+		vals[i] = m.Save.StorageBytes
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals[len(vals)/2]
+}
+
+// TotalStorage returns the flow's total storage consumption over all saved
+// models.
+func (r *Result) TotalStorage() int64 {
+	var total int64
+	for _, m := range r.Measurements {
+		total += m.Save.StorageBytes
+	}
+	return total
+}
+
+// NumModels returns the number of models the flow saved (10 for the
+// standard flow; 102/202/402 for DIST-5/10/20).
+func (r *Result) NumModels() int { return len(r.Measurements) }
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// MedianOfRuns aggregates repeated executions of the same experiment the
+// way the paper does ("we execute every experiment five times ... and take
+// the median computation time"): per use case, the median TTS/TTR across
+// runs. Storage is taken from the first run (constant across runs).
+type MedianOfRuns struct {
+	Runs []*Result
+}
+
+// TTS returns the median-of-runs median TTS for a use case.
+func (m MedianOfRuns) TTS(useCase string) time.Duration {
+	ds := make([]time.Duration, 0, len(m.Runs))
+	for _, r := range m.Runs {
+		ds = append(ds, r.MedianTTS(useCase))
+	}
+	return medianDuration(ds)
+}
+
+// TTR returns the median-of-runs median TTR for a use case.
+func (m MedianOfRuns) TTR(useCase string) time.Duration {
+	ds := make([]time.Duration, 0, len(m.Runs))
+	for _, r := range m.Runs {
+		ds = append(ds, r.MedianTTR(useCase))
+	}
+	return medianDuration(ds)
+}
+
+// Storage returns the per-model storage of a use case.
+func (m MedianOfRuns) Storage(useCase string) int64 {
+	if len(m.Runs) == 0 {
+		return 0
+	}
+	return m.Runs[0].MedianStorage(useCase)
+}
+
+// UseCases returns the use-case labels of the underlying flow.
+func (m MedianOfRuns) UseCases() []string {
+	if len(m.Runs) == 0 {
+		return nil
+	}
+	return m.Runs[0].UseCases()
+}
+
+// FlowDef is one row of the paper's Table 3.
+type FlowDef struct {
+	Name       string
+	Nodes      int
+	U3PerPhase int
+	// Models is 2 + Nodes × 2 × U3PerPhase (U1 and U2 plus per-node U3s).
+	Models int
+}
+
+// Table3 returns the evaluation flow definitions of the paper's Table 3.
+func Table3() []FlowDef {
+	mk := func(name string, nodes, u3 int) FlowDef {
+		return FlowDef{Name: name, Nodes: nodes, U3PerPhase: u3, Models: 2 + nodes*2*u3}
+	}
+	return []FlowDef{
+		mk("STANDARD", 1, 4),
+		mk("DIST-5", 5, 10),
+		mk("DIST-10", 10, 10),
+		mk("DIST-20", 20, 10),
+	}
+}
+
+// DistributedProvider starts an in-process document-database server backed
+// by mem (standing in for the paper's dedicated MongoDB machine) and
+// returns a StoreProvider that dials it per actor, a cleanup function for
+// the server, and the server address. The file store directory is shared,
+// like the paper's shared file system.
+func DistributedProvider(filesDir string) (StoreProvider, func(), error) {
+	backend := docdb.NewMemStore()
+	srv, err := docdb.NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	files, err := filestore.Open(filesDir)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	provider := func() (core.Stores, func(), error) {
+		client, err := docdb.Dial(srv.Addr())
+		if err != nil {
+			return core.Stores{}, nil, err
+		}
+		return core.Stores{Meta: client, Files: files}, func() { client.Close() }, nil
+	}
+	cleanup := func() { srv.Close() }
+	return provider, cleanup, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/train"
+)
+
+// Figure13 regenerates the deterministic-training cost comparison: the
+// ResNet family trained on CO-512 in deterministic mode (serial, fixed
+// accumulation order — reproducible) and non-deterministic mode
+// (goroutine-parallel kernels with arrival-order reductions), split into
+// the time to prepare input data ("load"), the forward pass, and the
+// backward pass.
+//
+// Expected shape: deterministic training is slower in forward and backward
+// while data loading is unaffected; the slowdown factor depends on the
+// architecture (layer mix), not on epoch count.
+func Figure13(w io.Writer, o Opts) error {
+	header(w, "Figure 13: deterministic vs non-deterministic training (CO-512)")
+	archs := []string{models.ResNet18Name, models.ResNet50Name}
+	if o.Scale >= 1 {
+		archs = append(archs, models.ResNet152Name)
+	}
+
+	spec := dataset.CO512(o.Scale)
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		return err
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "MODEL\tMODE\tLOAD\tFORWARD\tBACKWARD\tTOTAL")
+	type row struct {
+		det, nondet train.Stats
+	}
+	results := map[string]row{}
+	for _, arch := range archs {
+		var r row
+		for _, det := range []bool{true, false} {
+			stats, err := trainOnce(o, arch, ds, det)
+			if err != nil {
+				return fmt.Errorf("fig13 %s det=%v: %w", arch, det, err)
+			}
+			mode := "non-deterministic"
+			if det {
+				mode = "deterministic"
+				r.det = stats
+			} else {
+				r.nondet = stats
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+				arch, mode, ms(stats.LoadTime), ms(stats.ForwardTime), ms(stats.BackwardTime), ms(stats.TotalTime()))
+		}
+		results[arch] = r
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, arch := range archs {
+		r := results[arch]
+		fwd := ratio(r.det.ForwardTime, r.nondet.ForwardTime)
+		bwd := ratio(r.det.BackwardTime, r.nondet.BackwardTime)
+		fmt.Fprintf(w, "%s: deterministic slowdown — forward ×%.2f, backward ×%.2f\n", arch, fwd, bwd)
+	}
+	return nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// trainOnce runs one measured training over the dataset, taking the median
+// stats of o.Runs repetitions.
+func trainOnce(o Opts, arch string, ds *dataset.Dataset, deterministic bool) (train.Stats, error) {
+	runs := o.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	var all []train.Stats
+	for i := 0; i < runs; i++ {
+		net, err := models.New(arch, 1000, 11)
+		if err != nil {
+			return train.Stats{}, err
+		}
+		loader, err := train.NewDataLoader(ds, train.LoaderConfig{
+			BatchSize: o.BatchSize * 4,
+			OutH:      o.Resolution,
+			OutW:      o.Resolution,
+			Shuffle:   true,
+			Seed:      5,
+		})
+		if err != nil {
+			return train.Stats{}, err
+		}
+		svc := train.NewImageClassifierTrainService(train.ServiceConfig{
+			Epochs:          1,
+			BatchesPerEpoch: o.TrainBatches * 2,
+			Seed:            7,
+			Deterministic:   deterministic,
+		}, loader, train.NewSGD(train.SGDConfig{LR: 0.01, Momentum: 0.9}))
+		stats, err := svc.Train(net)
+		if err != nil {
+			return train.Stats{}, err
+		}
+		all = append(all, stats)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TotalTime() < all[j].TotalTime() })
+	return all[len(all)/2], nil
+}

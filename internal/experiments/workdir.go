@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"os"
+)
+
+type workDir struct {
+	path    string
+	cleanup func()
+}
+
+// mkWorkDir creates a scratch directory for an experiment's stores. A
+// configured base directory gets a fresh subdirectory; otherwise a system
+// temp directory is used. Cleanup removes the directory and its contents.
+func mkWorkDir(base string) (workDir, error) {
+	var dir string
+	var err error
+	if base == "" {
+		dir, err = os.MkdirTemp("", "mmlib-exp-*")
+	} else {
+		if err = os.MkdirAll(base, 0o755); err == nil {
+			dir, err = os.MkdirTemp(base, "exp-*")
+		}
+	}
+	if err != nil {
+		return workDir{}, err
+	}
+	return workDir{path: dir, cleanup: func() { os.RemoveAll(dir) }}, nil
+}

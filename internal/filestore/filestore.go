@@ -1,0 +1,242 @@
+// Package filestore implements the shared file store used to persist model
+// artifacts: serialized parameters, parameter updates, model code, dataset
+// archives, and optimizer state files. The paper uses a file system shared
+// between all machines over 100G InfiniBand; filestore substitutes a
+// directory-backed blob store with generated identifiers plus an optional
+// bandwidth throttle to emulate constrained links.
+package filestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a blob does not exist.
+var ErrNotFound = errors.New("filestore: not found")
+
+// Store is a shared blob store. All methods are safe for concurrent use.
+type Store struct {
+	root string
+	mu   sync.RWMutex
+	// bytesPerSecond throttles reads and writes when > 0.
+	bytesPerSecond int64
+}
+
+// Open opens (creating if necessary) a file store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("filestore: creating root: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// SetBandwidth limits subsequent reads and writes to approximately
+// bytesPerSecond. Zero or negative removes the limit. The throttle models
+// the "transfer with limited available bandwidth" scenario of the paper's
+// introduction.
+func (s *Store) SetBandwidth(bytesPerSecond int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesPerSecond = bytesPerSecond
+}
+
+func (s *Store) bandwidth() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytesPerSecond
+}
+
+func (s *Store) path(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return "", fmt.Errorf("filestore: invalid id %q", id)
+	}
+	return filepath.Join(s.root, id), nil
+}
+
+// NewID generates a fresh blob identifier.
+func NewID() string {
+	var b [16]byte
+	if _, err := randRead(b[:]); err != nil {
+		panic(fmt.Sprintf("filestore: id generation failed: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Save streams r into a new blob and returns its identifier, the number of
+// bytes stored, and the hex SHA-256 of the content.
+func (s *Store) Save(r io.Reader) (id string, size int64, hash string, err error) {
+	id = NewID()
+	size, hash, err = s.SaveAs(id, r)
+	return id, size, hash, err
+}
+
+// SaveAs streams r into the blob with the given identifier, overwriting any
+// existing blob, and returns the stored size and content hash.
+func (s *Store) SaveAs(id string, r io.Reader) (int64, string, error) {
+	path, err := s.path(id)
+	if err != nil {
+		return 0, "", err
+	}
+	if bw := s.bandwidth(); bw > 0 {
+		r = Throttle(r, bw)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, "", fmt.Errorf("filestore: creating blob: %w", err)
+	}
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(f, h), r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, "", fmt.Errorf("filestore: writing blob: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, "", fmt.Errorf("filestore: committing blob: %w", err)
+	}
+	return n, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// SaveBytes stores b as a new blob.
+func (s *Store) SaveBytes(b []byte) (id string, size int64, hash string, err error) {
+	return s.Save(bytesReader(b))
+}
+
+// Open returns a reader over the blob's content. The caller must close it.
+func (s *Store) Open(id string) (io.ReadCloser, error) {
+	path, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("filestore: opening blob: %w", err)
+	}
+	if bw := s.bandwidth(); bw > 0 {
+		return &throttledReadCloser{r: Throttle(f, bw), c: f}, nil
+	}
+	return f, nil
+}
+
+// ReadAll returns the blob's full content.
+func (s *Store) ReadAll(id string) ([]byte, error) {
+	rc, err := s.Open(id)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}
+
+// Size returns the stored size of a blob.
+func (s *Store) Size(id string) (int64, error) {
+	path, err := s.path(id)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return 0, ErrNotFound
+	}
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Hash returns the hex SHA-256 of the blob's content.
+func (s *Store) Hash(id string) (string, error) {
+	rc, err := s.Open(id)
+	if err != nil {
+		return "", err
+	}
+	defer rc.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, rc); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Delete removes a blob. Deleting a missing blob returns ErrNotFound.
+func (s *Store) Delete(id string) error {
+	path, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(path)
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// Exists reports whether a blob with the given identifier exists.
+func (s *Store) Exists(id string) bool {
+	path, err := s.path(id)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(path)
+	return err == nil
+}
+
+// Stats summarizes the store's contents.
+type Stats struct {
+	Blobs     int   `json:"blobs"`
+	SizeBytes int64 `json:"size_bytes"`
+}
+
+// Stats returns the number of blobs and total bytes stored.
+func (s *Store) Stats() (Stats, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return Stats{}, fmt.Errorf("filestore: listing root: %w", err)
+	}
+	var st Stats
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return Stats{}, err
+		}
+		st.Blobs++
+		st.SizeBytes += info.Size()
+	}
+	return st, nil
+}
+
+// Root returns the directory the store persists blobs in.
+func (s *Store) Root() string { return s.root }
+
+// List returns the identifiers of all stored blobs in unspecified order.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: listing root: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package filestore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveAndReadBack(t *testing.T) {
+	s := newStore(t)
+	content := []byte("serialized model parameters")
+	id, size, hash, err := s.SaveBytes(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(content)) {
+		t.Fatalf("size = %d, want %d", size, len(content))
+	}
+	want := sha256.Sum256(content)
+	if hash != hex.EncodeToString(want[:]) {
+		t.Fatalf("hash mismatch: %s", hash)
+	}
+	got, err := s.ReadAll(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content mismatch: %q", got)
+	}
+	gotSize, err := s.Size(id)
+	if err != nil || gotSize != size {
+		t.Fatalf("Size = %d, %v", gotSize, err)
+	}
+	gotHash, err := s.Hash(id)
+	if err != nil || gotHash != hash {
+		t.Fatalf("Hash = %s, %v", gotHash, err)
+	}
+	if !s.Exists(id) {
+		t.Fatal("Exists = false for stored blob")
+	}
+}
+
+func TestSaveAsOverwrites(t *testing.T) {
+	s := newStore(t)
+	id := NewID()
+	if _, _, err := s.SaveAs(id, strings.NewReader("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SaveAs(id, strings.NewReader("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadAll(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2-longer" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestMissingBlob(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Open(NewID()); err != ErrNotFound {
+		t.Fatalf("Open missing: %v", err)
+	}
+	if _, err := s.Size(NewID()); err != ErrNotFound {
+		t.Fatalf("Size missing: %v", err)
+	}
+	if err := s.Delete(NewID()); err != ErrNotFound {
+		t.Fatalf("Delete missing: %v", err)
+	}
+	if s.Exists(NewID()) {
+		t.Fatal("Exists = true for missing blob")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newStore(t)
+	id, _, _, err := s.SaveBytes([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(id) {
+		t.Fatal("blob still exists after Delete")
+	}
+}
+
+func TestInvalidIDs(t *testing.T) {
+	s := newStore(t)
+	for _, id := range []string{"", "../x", "a/b", "a.b"} {
+		if _, _, err := s.SaveAs(id, strings.NewReader("x")); err == nil {
+			t.Fatalf("SaveAs accepted invalid id %q", id)
+		}
+		if _, err := s.Open(id); err == nil || err == ErrNotFound {
+			t.Fatalf("Open(%q) err = %v, want validation error", id, err)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newStore(t)
+	st, err := s.Stats()
+	if err != nil || st.Blobs != 0 || st.SizeBytes != 0 {
+		t.Fatalf("empty Stats = %+v, %v", st, err)
+	}
+	s.SaveBytes(make([]byte, 100))
+	s.SaveBytes(make([]byte, 250))
+	st, err = s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blobs != 2 || st.SizeBytes != 350 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, _, err := s.SaveBytes([]byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.ReadAll(id)
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("reopen: %q, %v", got, err)
+	}
+}
+
+func TestThrottleLimitsRate(t *testing.T) {
+	payload := make([]byte, 64<<10) // 64 KiB
+	r := Throttle(bytes.NewReader(payload), 256<<10 /* 256 KiB/s */)
+	start := time.Now()
+	n, err := io.Copy(io.Discard, r)
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("copy: n=%d err=%v", n, err)
+	}
+	elapsed := time.Since(start)
+	// 64 KiB at 256 KiB/s should take ~250 ms; allow generous slack.
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("throttle too fast: %v", elapsed)
+	}
+}
+
+func TestThrottleDisabled(t *testing.T) {
+	r := strings.NewReader("abc")
+	if Throttle(r, 0) != io.Reader(r) {
+		t.Fatal("Throttle(0) should return the reader unchanged")
+	}
+}
+
+func TestStoreBandwidthAppliesToReads(t *testing.T) {
+	s := newStore(t)
+	id, _, _, err := s.SaveBytes(make([]byte, 32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBandwidth(128 << 10)
+	start := time.Now()
+	rc, err := s.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rc)
+	rc.Close()
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("bandwidth limit not applied: %v", elapsed)
+	}
+	s.SetBandwidth(0)
+	start = time.Now()
+	if _, err := s.ReadAll(id); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("unthrottled read too slow: %v", elapsed)
+	}
+}
+
+// Property: any byte content round-trips through the store unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	s := newStore(t)
+	f := func(content []byte) bool {
+		id, size, _, err := s.SaveBytes(content)
+		if err != nil || size != int64(len(content)) {
+			return false
+		}
+		got, err := s.ReadAll(id)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

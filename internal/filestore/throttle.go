@@ -1,0 +1,56 @@
+package filestore
+
+import (
+	"bytes"
+	"crypto/rand"
+	"io"
+	"time"
+)
+
+func randRead(b []byte) (int, error) { return rand.Read(b) }
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// throttledReader limits the rate data can be read through it. It releases
+// data in fixed quanta and sleeps when the caller gets ahead of the allowed
+// rate — a simple token-bucket good enough to emulate a constrained link.
+type throttledReader struct {
+	r              io.Reader
+	bytesPerSecond int64
+	start          time.Time
+	consumed       int64
+}
+
+// Throttle wraps r so that reading from the result proceeds at approximately
+// bytesPerSecond. A non-positive rate returns r unchanged.
+func Throttle(r io.Reader, bytesPerSecond int64) io.Reader {
+	if bytesPerSecond <= 0 {
+		return r
+	}
+	return &throttledReader{r: r, bytesPerSecond: bytesPerSecond}
+}
+
+func (t *throttledReader) Read(p []byte) (int, error) {
+	if t.start.IsZero() {
+		t.start = time.Now()
+	}
+	// Cap single reads to a 16 KiB quantum so pacing stays smooth.
+	if len(p) > 16<<10 {
+		p = p[:16<<10]
+	}
+	n, err := t.r.Read(p)
+	t.consumed += int64(n)
+	allowedAt := t.start.Add(time.Duration(float64(t.consumed) / float64(t.bytesPerSecond) * float64(time.Second)))
+	if wait := time.Until(allowedAt); wait > 0 {
+		time.Sleep(wait)
+	}
+	return n, err
+}
+
+type throttledReadCloser struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (t *throttledReadCloser) Read(p []byte) (int, error) { return t.r.Read(p) }
+func (t *throttledReadCloser) Close() error               { return t.c.Close() }

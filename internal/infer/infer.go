@@ -1,0 +1,156 @@
+// Package infer provides the prediction side of the model lifecycle: once a
+// model is distributed (U1/U2) or adapted on a node (U3), it "is used to
+// make predictions on certain data". The helpers here run batched
+// inference, convert logits to probabilities, extract top-k classes, and
+// evaluate a model over a dataset — all in deterministic mode, so the same
+// recovered model produces the exact same outputs anywhere, which is the
+// debugging property the paper's exact recovery exists to serve.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Prediction is the ranked output for one input.
+type Prediction struct {
+	// Class is the predicted class index (top-1).
+	Class int `json:"class"`
+	// Prob is the softmax probability of the predicted class.
+	Prob float32 `json:"prob"`
+	// TopK holds the k best classes in descending probability.
+	TopK []ClassProb `json:"top_k,omitempty"`
+}
+
+// ClassProb pairs a class index with its probability.
+type ClassProb struct {
+	Class int     `json:"class"`
+	Prob  float32 `json:"prob"`
+}
+
+// Softmax converts one row of logits to probabilities (numerically stable,
+// serial order).
+func Softmax(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - max))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Predict runs the model on a batch [N, C, H, W] and returns one prediction
+// per sample with the top-k classes. The model runs in inference mode.
+func Predict(m nn.Module, x *tensor.Tensor, k int) ([]Prediction, error) {
+	if x.NDim() != 4 {
+		return nil, fmt.Errorf("infer: input must be [N, C, H, W], got %v", x.Shape())
+	}
+	if k < 1 {
+		k = 1
+	}
+	logits := m.Forward(nn.Eval(), x)
+	if logits.NDim() != 2 || logits.Dim(0) != x.Dim(0) {
+		return nil, fmt.Errorf("infer: model produced %v for %d samples", logits.Shape(), x.Dim(0))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if k > c {
+		k = c
+	}
+	out := make([]Prediction, n)
+	ld := logits.Data()
+	for i := 0; i < n; i++ {
+		probs := Softmax(ld[i*c : (i+1)*c])
+		idx := make([]int, c)
+		for j := range idx {
+			idx[j] = j
+		}
+		// Stable sort keeps ties in class order, so results are
+		// deterministic.
+		sort.SliceStable(idx, func(a, b int) bool { return probs[idx[a]] > probs[idx[b]] })
+		top := make([]ClassProb, k)
+		for j := 0; j < k; j++ {
+			top[j] = ClassProb{Class: idx[j], Prob: probs[idx[j]]}
+		}
+		out[i] = Prediction{Class: top[0].Class, Prob: top[0].Prob, TopK: top}
+	}
+	return out, nil
+}
+
+// Report summarizes an evaluation over a dataset.
+type Report struct {
+	Samples  int     `json:"samples"`
+	Top1     float32 `json:"top1_accuracy"`
+	Top5     float32 `json:"top5_accuracy"`
+	MeanProb float32 `json:"mean_top1_prob"`
+}
+
+// Evaluate runs the model over the whole dataset at the given input
+// resolution in fixed-size batches and reports top-1/top-5 accuracy. A
+// trailing partial batch is evaluated too (inference has no reproducibility
+// reason to drop it).
+func Evaluate(m nn.Module, ds *dataset.Dataset, batchSize, outH, outW int) (Report, error) {
+	if batchSize <= 0 || outH <= 0 || outW <= 0 {
+		return Report{}, fmt.Errorf("infer: invalid evaluation parameters")
+	}
+	var rep Report
+	var top1, top5 int
+	var probSum float64
+	per := 3 * outH * outW
+	for start := 0; start < ds.Len(); start += batchSize {
+		end := start + batchSize
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		bs := end - start
+		x := tensor.Zeros(bs, 3, outH, outW)
+		labels := make([]int, bs)
+		for i := 0; i < bs; i++ {
+			img := ds.Image(start+i, outH, outW)
+			copy(x.Data()[i*per:(i+1)*per], img.Data())
+			labels[i] = ds.Label(start + i)
+		}
+		preds, err := Predict(m, x, 5)
+		if err != nil {
+			return Report{}, err
+		}
+		for i, p := range preds {
+			if p.Class == labels[i] {
+				top1++
+			}
+			for _, cp := range p.TopK {
+				if cp.Class == labels[i] {
+					top5++
+					break
+				}
+			}
+			probSum += float64(p.Prob)
+		}
+		rep.Samples += bs
+	}
+	if rep.Samples > 0 {
+		rep.Top1 = float32(top1) / float32(rep.Samples)
+		rep.Top5 = float32(top5) / float32(rep.Samples)
+		rep.MeanProb = float32(probSum / float64(rep.Samples))
+	}
+	return rep, nil
+}

@@ -1,0 +1,151 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float32{0, 0, 0, 0})
+	for _, v := range p {
+		if math.Abs(float64(v)-0.25) > 1e-6 {
+			t.Fatalf("uniform softmax = %v", p)
+		}
+	}
+	p = Softmax([]float32{1000, 0}) // stability under large logits
+	if p[0] < 0.999 || math.IsNaN(float64(p[0])) {
+		t.Fatalf("softmax overflowed: %v", p)
+	}
+	var sum float32
+	for _, v := range Softmax([]float32{1, 2, 3}) {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if got := Softmax(nil); len(got) != 0 {
+		t.Fatal("empty softmax")
+	}
+}
+
+func TestPredictShapesAndOrdering(t *testing.T) {
+	m, err := models.New(models.TinyCNNName, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Uniform(tensor.NewRNG(1), 0, 1, 4, 3, 16, 16)
+	preds, err := Predict(m, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 4 {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	for _, p := range preds {
+		if len(p.TopK) != 3 {
+			t.Fatalf("topk = %d", len(p.TopK))
+		}
+		if p.TopK[0].Class != p.Class || p.TopK[0].Prob != p.Prob {
+			t.Fatal("top-1 mismatch")
+		}
+		for i := 1; i < len(p.TopK); i++ {
+			if p.TopK[i].Prob > p.TopK[i-1].Prob {
+				t.Fatal("topk not sorted")
+			}
+		}
+		if p.Prob <= 0 || p.Prob > 1 {
+			t.Fatalf("prob = %v", p.Prob)
+		}
+	}
+	// k larger than classes clamps; k<1 becomes 1.
+	preds, err = Predict(m, x, 99)
+	if err != nil || len(preds[0].TopK) != 6 {
+		t.Fatalf("clamped topk = %v, %v", preds[0].TopK, err)
+	}
+	preds, err = Predict(m, x, 0)
+	if err != nil || len(preds[0].TopK) != 1 {
+		t.Fatalf("k=0: %v, %v", preds[0].TopK, err)
+	}
+}
+
+func TestPredictRejectsBadInput(t *testing.T) {
+	m, _ := models.New(models.TinyCNNName, 4, 1)
+	if _, err := Predict(m, tensor.Zeros(3, 16, 16), 1); err == nil {
+		t.Fatal("expected error for rank-3 input")
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	m, _ := models.New(models.TinyCNNName, 4, 5)
+	x := tensor.Uniform(tensor.NewRNG(2), 0, 1, 2, 3, 16, 16)
+	a, err := Predict(m, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Predict(m, x, 2)
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Prob != b[i].Prob {
+			t.Fatal("inference not deterministic")
+		}
+	}
+}
+
+func TestEvaluateOnLearnableDataset(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{Name: "eval", Images: 60, H: 16, W: 16, Classes: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.New(models.TinyCNNName, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := Evaluate(m, ds, 16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Samples != 60 {
+		t.Fatalf("samples = %d", before.Samples)
+	}
+	// Top-5 with 3 classes is always 1.
+	if before.Top5 != 1 {
+		t.Fatalf("top5 = %v", before.Top5)
+	}
+
+	// Train briefly; accuracy on the biased synthetic data must improve
+	// beyond chance.
+	loader, _ := train.NewDataLoader(ds, train.LoaderConfig{BatchSize: 10, OutH: 16, OutW: 16, Shuffle: true, Seed: 4})
+	svc := train.NewImageClassifierTrainService(
+		train.ServiceConfig{Epochs: 10, Seed: 8, Deterministic: true},
+		loader, train.NewSGD(train.SGDConfig{LR: 0.1, Momentum: 0.9}))
+	if _, err := svc.Train(m); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Evaluate(m, ds, 16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Top1 <= 0.4 {
+		t.Fatalf("top1 after training = %v, want > 0.4 (chance is 0.33)", after.Top1)
+	}
+	_ = nn.NumParams(m)
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.Spec{Name: "v", Images: 4, H: 8, W: 8, Classes: 2, Seed: 1})
+	m, _ := models.New(models.TinyCNNName, 2, 1)
+	if _, err := Evaluate(m, ds, 0, 8, 8); err == nil {
+		t.Fatal("expected error for batch size 0")
+	}
+	// Partial trailing batch is evaluated (4 samples, batch 3).
+	rep, err := Evaluate(m, ds, 3, 8, 8)
+	if err != nil || rep.Samples != 4 {
+		t.Fatalf("partial batch: %+v, %v", rep, err)
+	}
+}

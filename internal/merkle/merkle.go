@@ -1,0 +1,159 @@
+// Package merkle implements the Merkle tree over per-layer parameter hashes
+// that the parameter update approach uses to find changed layers without
+// recursively recovering base models (paper Section 3.2, Figure 4).
+//
+// Every model layer is a leaf holding the SHA-256 hash of that layer's
+// parameters. Inner nodes hash the concatenation of their children's hashes.
+// Comparing two trees top-down prunes unchanged subtrees: for a model with
+// 8 layers of which the last two changed, only 7 node comparisons are needed
+// instead of 8 leaf comparisons; for 64 layers the count drops to 13 and for
+// 128 layers to 15.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Leaf is a named leaf of the tree: one model layer and the hash of its
+// parameters.
+type Leaf struct {
+	// Name identifies the layer (its state-dict key).
+	Name string `json:"name"`
+	// Hash is the hex-encoded hash of the layer's parameters.
+	Hash string `json:"hash"`
+}
+
+// Tree is an immutable Merkle tree over an ordered list of leaves.
+type Tree struct {
+	leaves []Leaf
+	// levels[0] is the leaf level; levels[len-1] has a single root hash.
+	// When a level has an odd number of nodes, the last node is promoted to
+	// the next level unchanged.
+	levels [][]string
+}
+
+// Build constructs a tree from the given leaves. At least one leaf is
+// required.
+func Build(leaves []Leaf) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, errors.New("merkle: cannot build a tree with no leaves")
+	}
+	t := &Tree{leaves: append([]Leaf(nil), leaves...)}
+	level := make([]string, len(leaves))
+	for i, l := range leaves {
+		level[i] = l.Hash
+	}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]string, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, combine(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+func combine(a, b string) string {
+	h := sha256.Sum256([]byte(a + "|" + b))
+	return hex.EncodeToString(h[:])
+}
+
+// Root returns the root hash. Two models have bit-identical parameters if
+// and only if their trees' roots are equal (up to hash collisions), which is
+// the single-comparison equality check of Section 3.2.
+func (t *Tree) Root() string {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Leaves returns a copy of the tree's leaves in order.
+func (t *Tree) Leaves() []Leaf {
+	return append([]Leaf(nil), t.leaves...)
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// DiffResult reports the outcome of comparing two trees.
+type DiffResult struct {
+	// Changed lists the names of leaves whose hashes differ, in leaf order.
+	Changed []string
+	// Comparisons is the number of node-hash comparisons performed,
+	// including the root comparison. This is the quantity Figure 4 counts.
+	Comparisons int
+}
+
+// Diff compares t against other and returns the changed leaves together with
+// the number of node comparisons performed. The trees must have the same
+// number of leaves (the paper's partially/fully updated model versions keep
+// the architecture fixed); leaf names are taken from t.
+func Diff(t, other *Tree) (DiffResult, error) {
+	if t.NumLeaves() != other.NumLeaves() {
+		return DiffResult{}, fmt.Errorf("merkle: leaf count mismatch %d vs %d", t.NumLeaves(), other.NumLeaves())
+	}
+	var res DiffResult
+	type node struct{ level, idx int }
+	var visit func(n node)
+	visit = func(n node) {
+		res.Comparisons++
+		if t.levels[n.level][n.idx] == other.levels[n.level][n.idx] {
+			return
+		}
+		if n.level == 0 {
+			res.Changed = append(res.Changed, t.leaves[n.idx].Name)
+			return
+		}
+		// Children at level-1: indices 2*idx and 2*idx+1 when both exist;
+		// a promoted node keeps the same hash, so comparing it again is how
+		// the count stays honest for non-power-of-two layer counts.
+		childLevel := n.level - 1
+		left := node{level: childLevel, idx: 2 * n.idx}
+		if 2*n.idx+1 < len(t.levels[childLevel]) {
+			visit(left)
+			visit(node{level: childLevel, idx: 2*n.idx + 1})
+		} else {
+			// Promoted node: identical hash one level down; descend without
+			// recounting a real comparison is debatable, the paper counts
+			// node comparisons, so we count it.
+			visit(left)
+		}
+	}
+	visit(node{level: len(t.levels) - 1, idx: 0})
+	return res, nil
+}
+
+// VerifyLeaf recomputes the root from the given leaf and its authentication
+// path and reports whether it matches the tree's root. It allows a node to
+// prove a single layer's parameters to the server without transferring the
+// whole model.
+func (t *Tree) VerifyLeaf(index int, hash string) (bool, error) {
+	if index < 0 || index >= len(t.leaves) {
+		return false, fmt.Errorf("merkle: leaf index %d out of range", index)
+	}
+	cur := hash
+	idx := index
+	for level := 0; level < len(t.levels)-1; level++ {
+		nodes := t.levels[level]
+		if idx%2 == 0 {
+			if idx+1 < len(nodes) {
+				cur = combine(cur, nodes[idx+1])
+			}
+			// else: promoted unchanged
+		} else {
+			cur = combine(nodes[idx-1], cur)
+		}
+		idx /= 2
+	}
+	return cur == t.Root(), nil
+}
+
+// Height returns the number of levels in the tree (1 for a single leaf).
+func (t *Tree) Height() int { return len(t.levels) }

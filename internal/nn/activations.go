@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise. Cap > 0 turns it into a clipped ReLU
+// (ReLU6 in MobileNetV2 uses Cap = 6).
+type ReLU struct {
+	leafBase
+	Cap      float32
+	lastMask []bool
+}
+
+// NewReLU creates a standard rectifier.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// NewReLU6 creates the clipped rectifier min(max(0, x), 6) used by
+// MobileNetV2.
+func NewReLU6() *ReLU { return &ReLU{Cap: 6} }
+
+// Forward implements Module.
+func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.Zeros(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	r.lastMask = make([]bool, len(xd))
+	for i, v := range xd {
+		if v <= 0 {
+			continue
+		}
+		if r.Cap > 0 && v >= r.Cap {
+			od[i] = r.Cap
+			continue // gradient is zero at the cap
+		}
+		od[i] = v
+		r.lastMask[i] = true
+	}
+	return out
+}
+
+// Backward implements Module.
+func (r *ReLU) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastMask == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	out := tensor.Zeros(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i, pass := range r.lastMask {
+		if pass {
+			od[i] = gd[i]
+		}
+	}
+	return out
+}
+
+// Dropout zeroes activations with probability P during training and scales
+// survivors by 1/(1-P) (inverted dropout). In inference mode, or when the
+// context has no RNG, it is the identity — so inference stays deterministic
+// and reproducible, while training consumes seeded randomness from the
+// context RNG exactly as Section 2.3 of the paper prescribes.
+type Dropout struct {
+	leafBase
+	P        float32
+	lastMask []float32
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float32) *Dropout { return &Dropout{P: p} }
+
+// Forward implements Module.
+func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if !ctx.Training || ctx.RNG == nil || d.P <= 0 {
+		d.lastMask = nil
+		return x
+	}
+	out := tensor.Zeros(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	d.lastMask = make([]float32, len(xd))
+	scale := 1 / (1 - d.P)
+	for i := range xd {
+		if ctx.RNG.Float32() >= d.P {
+			d.lastMask[i] = scale
+			od[i] = xd[i] * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (d *Dropout) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastMask == nil {
+		return grad
+	}
+	out := tensor.Zeros(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i, m := range d.lastMask {
+		od[i] = gd[i] * m
+	}
+	return out
+}
+
+// Flatten reshapes [N, ...] to [N, prod(...)]. It sits between the pooled
+// feature maps and the classifier in every evaluation architecture.
+type Flatten struct {
+	leafBase
+	lastShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Module.
+func (f *Flatten) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	f.lastShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Module.
+func (f *Flatten) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic("nn: Flatten.Backward before Forward")
+	}
+	return grad.Reshape(f.lastShape...)
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/tensor"
+)
+
+// Sequential chains child modules; backward runs them in reverse.
+type Sequential struct {
+	mods []Child
+}
+
+// NewSequential creates a container from the given modules. Children are
+// named by index like torchvision ("0", "1", ...).
+func NewSequential(mods ...Module) *Sequential {
+	s := &Sequential{}
+	for i, m := range mods {
+		s.mods = append(s.mods, Child{Name: strconv.Itoa(i), Module: m})
+	}
+	return s
+}
+
+// NewNamedSequential creates a container with explicitly named children.
+func NewNamedSequential(children ...Child) *Sequential {
+	return &Sequential{mods: children}
+}
+
+// Append adds a module at the next index.
+func (s *Sequential) Append(m Module) {
+	s.mods = append(s.mods, Child{Name: strconv.Itoa(len(s.mods)), Module: m})
+}
+
+// Children implements Module.
+func (s *Sequential) Children() []Child { return s.mods }
+
+// OwnParams implements Module.
+func (s *Sequential) OwnParams() []*Param { return nil }
+
+// OwnBuffers implements Module.
+func (s *Sequential) OwnBuffers() []*Buffer { return nil }
+
+// Forward implements Module.
+func (s *Sequential) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	for _, c := range s.mods {
+		x = c.Module.Forward(ctx, x)
+	}
+	return x
+}
+
+// Backward implements Module.
+func (s *Sequential) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.mods) - 1; i >= 0; i-- {
+		grad = s.mods[i].Module.Backward(ctx, grad)
+	}
+	return grad
+}
+
+// Residual computes act(body(x) + shortcut(x)). A nil Shortcut is the
+// identity; a nil Act omits the post-addition activation. It models the
+// ResNet basic/bottleneck blocks and MobileNetV2's inverted residuals.
+type Residual struct {
+	Body     Module
+	Shortcut Module // nil = identity
+	Act      Module // nil = no activation after the addition
+}
+
+// NewResidual creates a residual block.
+func NewResidual(body, shortcut, act Module) *Residual {
+	return &Residual{Body: body, Shortcut: shortcut, Act: act}
+}
+
+// Children implements Module.
+func (r *Residual) Children() []Child {
+	out := []Child{{Name: "body", Module: r.Body}}
+	if r.Shortcut != nil {
+		out = append(out, Child{Name: "shortcut", Module: r.Shortcut})
+	}
+	if r.Act != nil {
+		out = append(out, Child{Name: "act", Module: r.Act})
+	}
+	return out
+}
+
+// OwnParams implements Module.
+func (r *Residual) OwnParams() []*Param { return nil }
+
+// OwnBuffers implements Module.
+func (r *Residual) OwnBuffers() []*Buffer { return nil }
+
+// Forward implements Module.
+func (r *Residual) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	y := r.Body.Forward(ctx, x)
+	var sc *tensor.Tensor
+	if r.Shortcut != nil {
+		sc = r.Shortcut.Forward(ctx, x)
+	} else {
+		sc = x
+	}
+	if !y.SameShape(sc) {
+		panic(fmt.Sprintf("nn: residual shapes differ: %v vs %v", y.Shape(), sc.Shape()))
+	}
+	sum := tensor.Add(y, sc)
+	if r.Act != nil {
+		return r.Act.Forward(ctx, sum)
+	}
+	return sum
+}
+
+// Backward implements Module.
+func (r *Residual) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if r.Act != nil {
+		grad = r.Act.Backward(ctx, grad)
+	}
+	gBody := r.Body.Backward(ctx, grad)
+	var gShort *tensor.Tensor
+	if r.Shortcut != nil {
+		gShort = r.Shortcut.Backward(ctx, grad)
+	} else {
+		gShort = grad
+	}
+	return tensor.Add(gBody, gShort)
+}
+
+// Concat runs branch modules on the same input and concatenates their NCHW
+// outputs along the channel dimension — the Inception block structure of
+// GoogLeNet.
+type Concat struct {
+	Branches   []Child
+	lastSplits []int // channel count per branch, cached for backward
+}
+
+// NewConcat creates a channel-concatenation container over the branches.
+func NewConcat(branches ...Module) *Concat {
+	c := &Concat{}
+	for i, b := range branches {
+		c.Branches = append(c.Branches, Child{Name: "branch" + strconv.Itoa(i+1), Module: b})
+	}
+	return c
+}
+
+// Children implements Module.
+func (c *Concat) Children() []Child { return c.Branches }
+
+// OwnParams implements Module.
+func (c *Concat) OwnParams() []*Param { return nil }
+
+// OwnBuffers implements Module.
+func (c *Concat) OwnBuffers() []*Buffer { return nil }
+
+// Forward implements Module.
+func (c *Concat) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	if len(c.Branches) == 0 {
+		panic("nn: Concat with no branches")
+	}
+	outs := make([]*tensor.Tensor, len(c.Branches))
+	for i, b := range c.Branches {
+		outs[i] = b.Module.Forward(ctx, x)
+	}
+	n, h, w := outs[0].Dim(0), outs[0].Dim(2), outs[0].Dim(3)
+	totalC := 0
+	c.lastSplits = c.lastSplits[:0]
+	for _, o := range outs {
+		if o.Dim(0) != n || o.Dim(2) != h || o.Dim(3) != w {
+			panic(fmt.Sprintf("nn: concat branch shapes differ: %v vs %v", outs[0].Shape(), o.Shape()))
+		}
+		totalC += o.Dim(1)
+		c.lastSplits = append(c.lastSplits, o.Dim(1))
+	}
+	out := tensor.Zeros(n, totalC, h, w)
+	od := out.Data()
+	hw := h * w
+	for i := 0; i < n; i++ {
+		chOff := 0
+		for _, o := range outs {
+			bc := o.Dim(1)
+			src := o.Data()[i*bc*hw : (i+1)*bc*hw]
+			dst := od[(i*totalC+chOff)*hw : (i*totalC+chOff+bc)*hw]
+			copy(dst, src)
+			chOff += bc
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (c *Concat) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if len(c.lastSplits) == 0 {
+		panic("nn: Concat.Backward before Forward")
+	}
+	n, totalC, h, w := grad.Dim(0), grad.Dim(1), grad.Dim(2), grad.Dim(3)
+	hw := h * w
+	gd := grad.Data()
+	var gradX *tensor.Tensor
+	chOff := 0
+	for bi, bc := range c.lastSplits {
+		bgrad := tensor.Zeros(n, bc, h, w)
+		bgd := bgrad.Data()
+		for i := 0; i < n; i++ {
+			src := gd[(i*totalC+chOff)*hw : (i*totalC+chOff+bc)*hw]
+			copy(bgd[i*bc*hw:(i+1)*bc*hw], src)
+		}
+		g := c.Branches[bi].Module.Backward(ctx, bgrad)
+		if gradX == nil {
+			gradX = g
+		} else {
+			tensor.AddInPlace(gradX, g)
+		}
+		chOff += bc
+	}
+	return gradX
+}

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2d applies max pooling over NCHW tensors. CeilMode mirrors
+// torchvision's GoogLeNet, which pools with ceil_mode=true.
+type MaxPool2d struct {
+	leafBase
+	Kernel, Stride, Padding int
+	CeilMode                bool
+	lastInShape             []int
+	lastArg                 []int32 // flat input index of each output's max
+}
+
+// NewMaxPool2d creates a max-pooling layer.
+func NewMaxPool2d(kernel, stride, padding int, ceilMode bool) *MaxPool2d {
+	return &MaxPool2d{Kernel: kernel, Stride: stride, Padding: padding, CeilMode: ceilMode}
+}
+
+func (m *MaxPool2d) outDim(in int) int {
+	num := float64(in+2*m.Padding-m.Kernel) / float64(m.Stride)
+	var o int
+	if m.CeilMode {
+		o = int(math.Ceil(num)) + 1
+		// PyTorch: the last window must start inside the (padded) input.
+		if (o-1)*m.Stride >= in+m.Padding {
+			o--
+		}
+	} else {
+		o = int(math.Floor(num)) + 1
+	}
+	if o < 1 {
+		panic(fmt.Sprintf("nn: maxpool output %d for input %d", o, in))
+	}
+	return o
+}
+
+// Forward implements Module.
+func (m *MaxPool2d) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	CheckShapes("MaxPool2d", x.Shape(), -1, -1, -1, -1)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := m.outDim(h), m.outDim(w)
+	m.lastInShape = x.Shape()
+	out := tensor.Zeros(n, c, oh, ow)
+	m.lastArg = make([]int32, out.Len())
+	xd, od := x.Data(), out.Data()
+
+	forSamples(ctx, n, func(i int) {
+		for ch := 0; ch < c; ch++ {
+			inBase := ((i * c) + ch) * h * w
+			outBase := ((i * c) + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for ky := 0; ky < m.Kernel; ky++ {
+						iy := oy*m.Stride - m.Padding + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < m.Kernel; kx++ {
+							ix := ox*m.Stride - m.Padding + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := xd[inBase+iy*w+ix]
+							if v > best {
+								best = v
+								bestIdx = int32(inBase + iy*w + ix)
+							}
+						}
+					}
+					od[outBase+oy*ow+ox] = best
+					m.lastArg[outBase+oy*ow+ox] = bestIdx
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Module.
+func (m *MaxPool2d) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if m.lastArg == nil {
+		panic("nn: MaxPool2d.Backward before Forward")
+	}
+	gradX := tensor.Zeros(m.lastInShape...)
+	gd, gxd := grad.Data(), gradX.Data()
+	for i, src := range m.lastArg {
+		if src >= 0 {
+			gxd[src] += gd[i]
+		}
+	}
+	return gradX
+}
+
+// GlobalAvgPool2d averages each channel over its full spatial extent,
+// producing [N, C, 1, 1]. It is the adaptive average pooling (output 1×1)
+// every evaluation architecture applies before its classifier.
+type GlobalAvgPool2d struct {
+	leafBase
+	lastInShape []int
+}
+
+// NewGlobalAvgPool2d creates a global average pooling layer.
+func NewGlobalAvgPool2d() *GlobalAvgPool2d { return &GlobalAvgPool2d{} }
+
+// Forward implements Module.
+func (g *GlobalAvgPool2d) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	CheckShapes("GlobalAvgPool2d", x.Shape(), -1, -1, -1, -1)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.lastInShape = x.Shape()
+	out := tensor.Zeros(n, c, 1, 1)
+	xd, od := x.Data(), out.Data()
+	hw := h * w
+	inv := 1 / float32(hw)
+	for i := 0; i < n*c; i++ {
+		var s float32
+		seg := xd[i*hw : (i+1)*hw]
+		for _, v := range seg {
+			s += v
+		}
+		od[i] = s * inv
+	}
+	return out
+}
+
+// Backward implements Module.
+func (g *GlobalAvgPool2d) Backward(ctx *Context, grad *tensor.Tensor) *tensor.Tensor {
+	if g.lastInShape == nil {
+		panic("nn: GlobalAvgPool2d.Backward before Forward")
+	}
+	h, w := g.lastInShape[2], g.lastInShape[3]
+	hw := h * w
+	inv := 1 / float32(hw)
+	gradX := tensor.Zeros(g.lastInShape...)
+	gd, gxd := grad.Data(), gradX.Data()
+	for i := 0; i < len(gd); i++ {
+		v := gd[i] * inv
+		seg := gxd[i*hw : (i+1)*hw]
+		for j := range seg {
+			seg[j] = v
+		}
+	}
+	return gradX
+}

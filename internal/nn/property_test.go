@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// randomDict builds a state dict with pseudo-random layer structure and
+// contents derived from seed.
+func randomDict(seed uint64) *StateDict {
+	rng := tensor.NewRNG(seed)
+	sd := NewStateDict()
+	layers := rng.Intn(6) + 1
+	for l := 0; l < layers; l++ {
+		entries := rng.Intn(3) + 1
+		for e := 0; e < entries; e++ {
+			n := rng.Intn(32) + 1
+			sd.Set(fmt.Sprintf("layer%d.t%d", l, e), tensor.Uniform(rng, -1, 1, n))
+		}
+	}
+	return sd
+}
+
+// Property: serialization round trip preserves equality for arbitrary
+// dicts.
+func TestStateDictRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		sd := randomDict(seed)
+		var buf bytes.Buffer
+		if _, err := sd.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadStateDict(&buf)
+		if err != nil {
+			return false
+		}
+		return sd.Equal(got) && sd.Hash() == got.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the PUA recovery equation — merge(base, subset(diffLayers))
+// reproduces the derived dict — holds for arbitrary mutations.
+func TestMergeRecoveryProperty(t *testing.T) {
+	f := func(seed uint64, mutMask uint16) bool {
+		base := randomDict(seed)
+		derived := base.Clone()
+		for i, e := range derived.Entries() {
+			if mutMask&(1<<(uint(i)%16)) != 0 {
+				e.Tensor.Data()[0] += 1
+			}
+		}
+		changed, err := base.DiffLayers(derived)
+		if err != nil {
+			return false
+		}
+		update := derived.SubsetByLayers(changed)
+		return Merge(base, update).Equal(derived)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: layer hashes change exactly for the mutated layers.
+func TestLayerHashLocalityProperty(t *testing.T) {
+	f := func(seed uint64, layerPick uint8) bool {
+		a := randomDict(seed)
+		b := a.Clone()
+		// Mutate one whole layer of b.
+		layers := map[string]bool{}
+		for _, e := range b.Entries() {
+			layers[LayerOf(e.Key)] = true
+		}
+		var names []string
+		for _, e := range b.Entries() {
+			l := LayerOf(e.Key)
+			found := false
+			for _, n := range names {
+				if n == l {
+					found = true
+				}
+			}
+			if !found {
+				names = append(names, l)
+			}
+		}
+		target := names[int(layerPick)%len(names)]
+		for _, e := range b.Entries() {
+			if LayerOf(e.Key) == target {
+				e.Tensor.Data()[0] += 2
+			}
+		}
+		ah, bh := a.LayerHashes(), b.LayerHashes()
+		if len(ah) != len(bh) {
+			return false
+		}
+		for i := range ah {
+			same := ah[i].Hash == bh[i].Hash
+			if ah[i].Key == target && same {
+				return false // mutated layer must change
+			}
+			if ah[i].Key != target && !same {
+				return false // others must not
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LoadInto then StateDictOf is the identity on dict content for a
+// model-shaped dict.
+func TestLoadIntoIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := demoModel(seed)
+		src := StateDictOf(demoModel(seed + 1)).Clone()
+		if err := src.LoadInto(m); err != nil {
+			return false
+		}
+		return StateDictOf(m).Equal(src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

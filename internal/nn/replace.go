@@ -1,0 +1,53 @@
+package nn
+
+// ChildReplacer is implemented by containers that allow swapping a direct
+// child. It enables non-invasive instrumentation: the probing tool wraps
+// leaf layers in recording proxies and unwraps them afterwards.
+type ChildReplacer interface {
+	// ReplaceChild swaps the direct child with the given name and reports
+	// whether the name was found.
+	ReplaceChild(name string, m Module) bool
+}
+
+// ReplaceChild implements ChildReplacer.
+func (s *Sequential) ReplaceChild(name string, m Module) bool {
+	for i := range s.mods {
+		if s.mods[i].Name == name {
+			s.mods[i].Module = m
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceChild implements ChildReplacer.
+func (r *Residual) ReplaceChild(name string, m Module) bool {
+	switch name {
+	case "body":
+		r.Body = m
+	case "shortcut":
+		if r.Shortcut == nil {
+			return false
+		}
+		r.Shortcut = m
+	case "act":
+		if r.Act == nil {
+			return false
+		}
+		r.Act = m
+	default:
+		return false
+	}
+	return true
+}
+
+// ReplaceChild implements ChildReplacer.
+func (c *Concat) ReplaceChild(name string, m Module) bool {
+	for i := range c.Branches {
+		if c.Branches[i].Name == name {
+			c.Branches[i].Module = m
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,366 @@
+package nn
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// StateDict is the ordered mapping from dotted tensor paths to tensors that
+// represents a model's complete parameter and buffer state — the structure
+// the paper's approaches serialize ("we serialize the model's internal data
+// structure that maps each layer to its parameters"), diff, hash, and merge.
+type StateDict struct {
+	entries []Entry
+	index   map[string]int
+}
+
+// Entry is one named tensor of a state dict.
+type Entry struct {
+	Key    string
+	Tensor *tensor.Tensor
+}
+
+// NewStateDict creates an empty state dict.
+func NewStateDict() *StateDict {
+	return &StateDict{index: make(map[string]int)}
+}
+
+// StateDictOf captures the model's current state: per module, parameters
+// then buffers, in deterministic depth-first order. The returned dict
+// references the live tensors; use Clone for a snapshot.
+func StateDictOf(m Module) *StateDict {
+	sd := NewStateDict()
+	Visit(m, func(path string, mod Module) {
+		for _, p := range mod.OwnParams() {
+			sd.Set(joinPath(path, p.Name), p.Value)
+		}
+		for _, b := range mod.OwnBuffers() {
+			sd.Set(joinPath(path, b.Name), b.Value)
+		}
+	})
+	return sd
+}
+
+// Set appends (or replaces) the entry for key.
+func (sd *StateDict) Set(key string, t *tensor.Tensor) {
+	if i, ok := sd.index[key]; ok {
+		sd.entries[i].Tensor = t
+		return
+	}
+	sd.index[key] = len(sd.entries)
+	sd.entries = append(sd.entries, Entry{Key: key, Tensor: t})
+}
+
+// Get returns the tensor for key.
+func (sd *StateDict) Get(key string) (*tensor.Tensor, bool) {
+	i, ok := sd.index[key]
+	if !ok {
+		return nil, false
+	}
+	return sd.entries[i].Tensor, true
+}
+
+// Len returns the number of entries.
+func (sd *StateDict) Len() int { return len(sd.entries) }
+
+// Entries returns the entries in order. The slice must not be mutated.
+func (sd *StateDict) Entries() []Entry { return sd.entries }
+
+// Keys returns the keys in order.
+func (sd *StateDict) Keys() []string {
+	out := make([]string, len(sd.entries))
+	for i, e := range sd.entries {
+		out[i] = e.Key
+	}
+	return out
+}
+
+// Clone returns a deep copy (tensors included).
+func (sd *StateDict) Clone() *StateDict {
+	out := NewStateDict()
+	for _, e := range sd.entries {
+		out.Set(e.Key, e.Tensor.Clone())
+	}
+	return out
+}
+
+// NumScalars returns the total number of float32 scalars across all entries.
+func (sd *StateDict) NumScalars() int {
+	n := 0
+	for _, e := range sd.entries {
+		n += e.Tensor.Len()
+	}
+	return n
+}
+
+// Equal reports whether both dicts have identical keys in identical order
+// with bit-identical tensors — the paper's model-equality criterion applied
+// to saved state.
+func (sd *StateDict) Equal(o *StateDict) bool {
+	if len(sd.entries) != len(o.entries) {
+		return false
+	}
+	for i, e := range sd.entries {
+		oe := o.entries[i]
+		if e.Key != oe.Key || !e.Tensor.Equal(oe.Tensor) {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadInto copies the dict's tensors into the model's parameters and
+// buffers. Every model tensor must be present with a matching shape; extra
+// dict entries are an error too, so an unexpected mismatch between saved
+// state and architecture code fails loudly.
+func (sd *StateDict) LoadInto(m Module) error {
+	model := StateDictOf(m)
+	if len(model.entries) != len(sd.entries) {
+		return fmt.Errorf("nn: state dict has %d entries, model needs %d", len(sd.entries), len(model.entries))
+	}
+	for _, me := range model.entries {
+		src, ok := sd.Get(me.Key)
+		if !ok {
+			return fmt.Errorf("nn: state dict missing key %q", me.Key)
+		}
+		if !src.SameShape(me.Tensor) {
+			return fmt.Errorf("nn: shape mismatch for %q: %v vs %v", me.Key, src.Shape(), me.Tensor.Shape())
+		}
+		copy(me.Tensor.Data(), src.Data())
+	}
+	return nil
+}
+
+// LayerOf returns the layer path of a state-dict key (the key minus its
+// final component): "layer1.0.conv1.weight" → "layer1.0.conv1".
+func LayerOf(key string) string {
+	i := strings.LastIndex(key, ".")
+	if i < 0 {
+		return ""
+	}
+	return key[:i]
+}
+
+// KeyHash pairs a state-dict key with the hash of its tensor.
+type KeyHash struct {
+	Key  string `json:"key"`
+	Hash string `json:"hash"`
+}
+
+// EntryHashes returns the per-entry content hashes in order.
+func (sd *StateDict) EntryHashes() []KeyHash {
+	out := make([]KeyHash, len(sd.entries))
+	for i, e := range sd.entries {
+		out[i] = KeyHash{Key: e.Key, Hash: e.Tensor.Hash()}
+	}
+	return out
+}
+
+// LayerHashes returns one hash per layer (leaf module owning tensors), in
+// layer order, combining the hashes of all the layer's tensors. These are
+// the leaves of the parameter update approach's Merkle tree.
+func (sd *StateDict) LayerHashes() []KeyHash {
+	var out []KeyHash
+	var curLayer string
+	h := sha256.New()
+	started := false
+	flush := func() {
+		if started {
+			out = append(out, KeyHash{Key: curLayer, Hash: hex.EncodeToString(h.Sum(nil))})
+		}
+	}
+	for _, e := range sd.entries {
+		layer := LayerOf(e.Key)
+		if !started || layer != curLayer {
+			flush()
+			h = sha256.New()
+			curLayer = layer
+			started = true
+		}
+		io.WriteString(h, e.Key)
+		io.WriteString(h, "=")
+		io.WriteString(h, e.Tensor.Hash())
+		io.WriteString(h, ";")
+	}
+	flush()
+	return out
+}
+
+// Hash returns a single content hash over the whole dict.
+func (sd *StateDict) Hash() string {
+	h := sha256.New()
+	for _, e := range sd.entries {
+		io.WriteString(h, e.Key)
+		io.WriteString(h, "=")
+		io.WriteString(h, e.Tensor.Hash())
+		io.WriteString(h, ";")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DiffLayers compares two dicts with identical keys and returns the layer
+// paths whose tensors differ. It is the naive (hash-free) layer diff the
+// Merkle tree accelerates.
+func (sd *StateDict) DiffLayers(o *StateDict) ([]string, error) {
+	if len(sd.entries) != len(o.entries) {
+		return nil, fmt.Errorf("nn: dicts differ in size: %d vs %d", len(sd.entries), len(o.entries))
+	}
+	changed := map[string]bool{}
+	var order []string
+	seen := map[string]bool{}
+	for i, e := range sd.entries {
+		oe := o.entries[i]
+		if e.Key != oe.Key {
+			return nil, fmt.Errorf("nn: dict keys differ at %d: %q vs %q", i, e.Key, oe.Key)
+		}
+		layer := LayerOf(e.Key)
+		if !seen[layer] {
+			seen[layer] = true
+			order = append(order, layer)
+		}
+		if !e.Tensor.Equal(oe.Tensor) {
+			changed[layer] = true
+		}
+	}
+	var out []string
+	for _, l := range order {
+		if changed[l] {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+// SubsetByLayers returns a new dict containing only the entries whose layer
+// path is in layers, preserving order. It is the "parameter update" of
+// Section 3.2: the pruned state holding just the changed layers.
+func (sd *StateDict) SubsetByLayers(layers []string) *StateDict {
+	want := make(map[string]bool, len(layers))
+	for _, l := range layers {
+		want[l] = true
+	}
+	out := NewStateDict()
+	for _, e := range sd.entries {
+		if want[LayerOf(e.Key)] {
+			out.Set(e.Key, e.Tensor)
+		}
+	}
+	return out
+}
+
+// Merge returns base overlaid with update: entries present in update win,
+// which is the PUA recovery policy of "prioritizing M's parameter
+// information in case of merge conflicts". The result has base's key order.
+func Merge(base, update *StateDict) *StateDict {
+	out := NewStateDict()
+	for _, e := range base.entries {
+		if t, ok := update.Get(e.Key); ok {
+			out.Set(e.Key, t)
+		} else {
+			out.Set(e.Key, e.Tensor)
+		}
+	}
+	return out
+}
+
+// State-dict binary format (little endian):
+//
+//	magic   uint32 0x44534d4d ("MMSD")
+//	version uint16 1
+//	count   uint32
+//	count × { keyLen uint16, key bytes, tensor (tensor format) }
+const (
+	sdMagic   = 0x44534d4d
+	sdVersion = 1
+)
+
+// WriteTo serializes the dict and returns the number of bytes written.
+func (sd *StateDict) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], sdMagic)
+	binary.LittleEndian.PutUint16(b8[4:6], sdVersion)
+	m, err := bw.Write(b8[:6])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(sd.entries)))
+	m, err = bw.Write(b8[:4])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range sd.entries {
+		if len(e.Key) > 0xffff {
+			return n, fmt.Errorf("nn: key %q too long", e.Key)
+		}
+		binary.LittleEndian.PutUint16(b8[:2], uint16(len(e.Key)))
+		m, err = bw.Write(b8[:2])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		m, err = io.WriteString(bw, e.Key)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		nt, err := e.Tensor.WriteTo(bw)
+		n += nt
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// SerializedSize returns the exact byte size WriteTo will produce.
+func (sd *StateDict) SerializedSize() int64 {
+	n := int64(10)
+	for _, e := range sd.entries {
+		n += 2 + int64(len(e.Key)) + e.Tensor.SerializedSize()
+	}
+	return n
+}
+
+// ReadStateDict deserializes a state dict from r.
+func ReadStateDict(r io.Reader) (*StateDict, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [10]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nn: reading state dict header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != sdMagic {
+		return nil, fmt.Errorf("nn: bad state dict magic")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != sdVersion {
+		return nil, fmt.Errorf("nn: unsupported state dict version %d", v)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[6:10]))
+	sd := NewStateDict()
+	for i := 0; i < count; i++ {
+		var lb [2]byte
+		if _, err := io.ReadFull(br, lb[:]); err != nil {
+			return nil, fmt.Errorf("nn: reading key length: %w", err)
+		}
+		keyBytes := make([]byte, binary.LittleEndian.Uint16(lb[:]))
+		if _, err := io.ReadFull(br, keyBytes); err != nil {
+			return nil, fmt.Errorf("nn: reading key: %w", err)
+		}
+		t, err := tensor.ReadFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("nn: reading tensor for %q: %w", keyBytes, err)
+		}
+		sd.Set(string(keyBytes), t)
+	}
+	return sd, nil
+}

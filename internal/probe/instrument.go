@@ -1,0 +1,155 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Layer-wise instrumentation: leaf layers are wrapped in recording proxies
+// so one forward/backward pass yields per-layer fingerprints of the output
+// tensor (forward) and the input-gradient tensor (backward) — the
+// tensor-level comparison the paper's probing tool performs (Section 2.4).
+
+// Trace holds the per-layer tensor hashes of one instrumented pass.
+type Trace struct {
+	// Forward maps layer paths to output-tensor hashes.
+	Forward map[string]string `json:"forward"`
+	// Backward maps layer paths to input-gradient hashes.
+	Backward map[string]string `json:"backward"`
+}
+
+// tap wraps a leaf module and records its tensors into a Trace.
+type tap struct {
+	inner nn.Module
+	path  string
+	trace *Trace
+}
+
+func (t *tap) Forward(ctx *nn.Context, x *tensor.Tensor) *tensor.Tensor {
+	y := t.inner.Forward(ctx, x)
+	t.trace.Forward[t.path] = y.Hash()
+	return y
+}
+
+func (t *tap) Backward(ctx *nn.Context, grad *tensor.Tensor) *tensor.Tensor {
+	g := t.inner.Backward(ctx, grad)
+	t.trace.Backward[t.path] = g.Hash()
+	return g
+}
+
+func (t *tap) Children() []nn.Child     { return t.inner.Children() }
+func (t *tap) OwnParams() []*nn.Param   { return t.inner.OwnParams() }
+func (t *tap) OwnBuffers() []*nn.Buffer { return t.inner.OwnBuffers() }
+
+// instrument wraps every leaf module reachable through ChildReplacer
+// containers and returns the trace plus an uninstrument function restoring
+// the original tree.
+func instrument(m nn.Module) (*Trace, func(), error) {
+	trace := &Trace{Forward: map[string]string{}, Backward: map[string]string{}}
+	var undo []func()
+	var walk func(m nn.Module, path string) error
+	walk = func(m nn.Module, path string) error {
+		children := m.Children()
+		if len(children) == 0 {
+			return nil // root leaf is handled by the caller's container
+		}
+		replacer, ok := m.(nn.ChildReplacer)
+		for _, c := range children {
+			childPath := c.Name
+			if path != "" {
+				childPath = path + "." + c.Name
+			}
+			if len(c.Module.Children()) == 0 {
+				if !ok {
+					return fmt.Errorf("probe: container %T at %q does not support child replacement", m, path)
+				}
+				wrapped := &tap{inner: c.Module, path: childPath, trace: trace}
+				if !replacer.ReplaceChild(c.Name, wrapped) {
+					return fmt.Errorf("probe: could not replace child %q of %T", c.Name, m)
+				}
+				name, orig := c.Name, c.Module
+				undo = append(undo, func() { replacer.ReplaceChild(name, orig) })
+				continue
+			}
+			if err := walk(c.Module, childPath); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(m, ""); err != nil {
+		for _, u := range undo {
+			u()
+		}
+		return nil, nil, err
+	}
+	return trace, func() {
+		for _, u := range undo {
+			u()
+		}
+	}, nil
+}
+
+// RunTraced executes one instrumented probe pass and returns both the
+// summary and the per-layer tensor trace. The model tree is restored before
+// returning.
+func RunTraced(m nn.Module, cfg Config) (Summary, *Trace, error) {
+	trace, uninstrument, err := instrument(m)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	defer uninstrument()
+	s, err := Run(m, cfg)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	return s, trace, nil
+}
+
+// CompareTraces returns the layer paths whose forward or backward tensors
+// differ between two traces, sorted and annotated with the pass kind.
+func CompareTraces(a, b *Trace) []Difference {
+	var out []Difference
+	keys := map[string]bool{}
+	for k := range a.Forward {
+		keys[k] = true
+	}
+	for k := range b.Forward {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if a.Forward[k] != b.Forward[k] {
+			out = append(out, Difference{Kind: "forward", Key: k})
+		}
+		if a.Backward[k] != b.Backward[k] {
+			out = append(out, Difference{Kind: "backward", Key: k})
+		}
+	}
+	return out
+}
+
+// VerifyTraced runs the instrumented probe twice and reports layer-level
+// reproducibility: the first diverging layer (in path order) is usually the
+// layer with a non-deterministic implementation — how the paper localizes
+// "deprecated layers where PyTorch does not provide a deterministic
+// implementation".
+func VerifyTraced(m nn.Module, cfg Config) (bool, []Difference, error) {
+	_, t1, err := RunTraced(m, cfg)
+	if err != nil {
+		return false, nil, err
+	}
+	_, t2, err := RunTraced(m, cfg)
+	if err != nil {
+		return false, nil, err
+	}
+	diffs := CompareTraces(t1, t2)
+	return len(diffs) == 0, diffs, nil
+}

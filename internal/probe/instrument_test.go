@@ -1,0 +1,151 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestRunTracedRecordsEveryLeaf(t *testing.T) {
+	m := tinyModel(t, 20)
+	s, trace, err := RunTraced(m, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ForwardHash == "" {
+		t.Fatal("summary missing")
+	}
+	// TinyCNN has 9 leaf modules (conv1, bn1, relu1, conv2, bn2, relu2,
+	// avgpool, flatten, fc); every one must appear in both passes.
+	if len(trace.Forward) != 9 || len(trace.Backward) != 9 {
+		t.Fatalf("trace sizes: fwd=%d bwd=%d, want 9", len(trace.Forward), len(trace.Backward))
+	}
+	for _, path := range []string{"conv1", "bn2", "fc", "avgpool"} {
+		if trace.Forward[path] == "" || trace.Backward[path] == "" {
+			t.Fatalf("layer %q missing from trace", path)
+		}
+	}
+}
+
+func TestRunTracedRestoresTree(t *testing.T) {
+	m := tinyModel(t, 21)
+	if _, _, err := RunTraced(m, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// No taps may remain in the tree.
+	nn.Visit(m, func(path string, mod nn.Module) {
+		if _, isTap := mod.(*tap); isTap {
+			t.Fatalf("tap left in tree at %q", path)
+		}
+	})
+	// And the model still runs untraced.
+	if _, err := Run(m, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyTracedDeterministic(t *testing.T) {
+	m := tinyModel(t, 22)
+	ok, diffs, err := VerifyTraced(m, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("deterministic model not layer-reproducible: %v", diffs)
+	}
+}
+
+func TestCompareTracesLocalizesDivergence(t *testing.T) {
+	m := tinyModel(t, 23)
+	_, t1, err := RunTraced(m, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one mid-network layer and re-trace: conv2 and everything
+	// after it diverges, everything before stays identical.
+	for _, p := range nn.NamedParams(m) {
+		if nn.LayerOf(p.Path) == "conv2" {
+			p.Param.Value.Data()[0] += 1
+		}
+	}
+	_, t2, err := RunTraced(m, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := CompareTraces(t1, t2)
+	if len(diffs) == 0 {
+		t.Fatal("no divergence detected")
+	}
+	forwardDiverged := map[string]bool{}
+	for _, d := range diffs {
+		if d.Kind == "forward" {
+			forwardDiverged[d.Key] = true
+		}
+	}
+	// Layers before the perturbation keep their forward outputs (their
+	// backward gradients legitimately change, since gradients flow from
+	// behind the perturbed layer).
+	if forwardDiverged["conv1"] || forwardDiverged["bn1"] {
+		t.Fatalf("layers before the perturbation diverged in forward: %v", diffs)
+	}
+	if !forwardDiverged["conv2"] || !forwardDiverged["fc"] {
+		t.Fatalf("expected conv2 and fc forward to diverge: %v", diffs)
+	}
+}
+
+// Instrumenting a real evaluation architecture exercises Residual and
+// Concat replacement (ResNet blocks; GoogLeNet branches).
+func TestRunTracedOnResNet18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full architecture")
+	}
+	m, err := models.New(models.ResNet18Name, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 1, BatchSize: 1, H: 32, W: 32, Classes: 1000, Deterministic: true}
+	_, trace, err := RunTraced(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect traces for stem and blocks.
+	if trace.Forward["conv1"] == "" {
+		t.Fatal("stem conv not traced")
+	}
+	found := false
+	for k := range trace.Forward {
+		if len(k) > 7 && k[:7] == "layer1." {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no residual-block layers traced")
+	}
+}
+
+func TestTapPreservesParamsAndBuffers(t *testing.T) {
+	conv := nn.NewConv2d(1, 2, 3, 1, 1, 1, true)
+	tr := &Trace{Forward: map[string]string{}, Backward: map[string]string{}}
+	w := &tap{inner: conv, path: "x", trace: tr}
+	if len(w.OwnParams()) != 2 {
+		t.Fatal("tap hides params")
+	}
+	if len(w.Children()) != 0 {
+		t.Fatal("leaf tap should have no children")
+	}
+	bn := nn.NewBatchNorm2d(2)
+	wb := &tap{inner: bn, path: "y", trace: tr}
+	if len(wb.OwnBuffers()) != 2 {
+		t.Fatal("tap hides buffers")
+	}
+	// Forward/backward pass through and record.
+	x := tensor.Uniform(tensor.NewRNG(1), 0, 1, 1, 1, 4, 4)
+	ctx := &nn.Context{Training: true, Mode: tensor.Deterministic}
+	out := w.Forward(ctx, x)
+	w.Backward(ctx, tensor.Full(1, out.Shape()...))
+	if tr.Forward["x"] == "" || tr.Backward["x"] == "" {
+		t.Fatal("tap did not record")
+	}
+}

@@ -1,0 +1,161 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func tinyConfig() Config {
+	return Config{Seed: 3, BatchSize: 2, H: 16, W: 16, Classes: 4, Deterministic: true}
+}
+
+func tinyModel(t *testing.T, seed uint64) nn.Module {
+	t.Helper()
+	m, err := models.New(models.TinyCNNName, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	m := tinyModel(t, 1)
+	if _, err := Run(m, Config{}); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+	// Class count mismatch: model has 4 outputs, probe expects 7.
+	bad := tinyConfig()
+	bad.Classes = 7
+	if _, err := Run(m, bad); err == nil {
+		t.Fatal("expected error for class mismatch")
+	}
+}
+
+func TestRunIsSideEffectFree(t *testing.T) {
+	m := tinyModel(t, 2)
+	before := nn.StateDictOf(m).Clone()
+	if _, err := Run(m, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !nn.StateDictOf(m).Equal(before) {
+		t.Fatal("probe mutated model state (BatchNorm buffers?)")
+	}
+	for _, p := range nn.NamedParams(m) {
+		d := p.Param.Grad.Data()
+		for _, v := range d {
+			if v != 0 {
+				t.Fatal("probe left gradients behind")
+			}
+		}
+	}
+}
+
+func TestVerifyDeterministicModelIsReproducible(t *testing.T) {
+	m := tinyModel(t, 3)
+	ok, diffs, err := Verify(m, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("deterministic model not reproducible: %v", diffs)
+	}
+}
+
+func TestCompareDetectsModelChange(t *testing.T) {
+	a := tinyModel(t, 4)
+	b := tinyModel(t, 5)
+	sa, err := Run(a, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Run(b, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := Compare(sa, sb)
+	if len(diffs) == 0 {
+		t.Fatal("different models compared equal")
+	}
+	// Forward output must differ; some layer gradients must differ.
+	var sawForward, sawGrad bool
+	for _, d := range diffs {
+		switch d.Kind {
+		case "forward":
+			sawForward = true
+		case "grad":
+			sawGrad = true
+		}
+		if d.String() == "" {
+			t.Fatal("empty difference description")
+		}
+	}
+	if !sawForward || !sawGrad {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	// Inputs were identical.
+	for _, d := range diffs {
+		if d.Kind == "input" {
+			t.Fatal("inputs should match for same config")
+		}
+	}
+}
+
+func TestSummarySaveLoadRoundTrip(t *testing.T) {
+	m := tinyModel(t, 6)
+	s, err := Run(m, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare(s, got); len(diffs) != 0 {
+		t.Fatalf("round trip changed summary: %v", diffs)
+	}
+	if got.Environment.Framework == "" {
+		t.Fatal("environment lost in round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Cross-"machine" scenario: a summary saved by one process run is compared
+// against a fresh run — the same-config same-model case must be clean.
+func TestSavedSummaryMatchesFreshRun(t *testing.T) {
+	cfg := tinyConfig()
+	m1 := tinyModel(t, 7)
+	s1, err := Run(m1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Other machine": a separately constructed but identical model.
+	m2 := tinyModel(t, 7)
+	s2, err := Run(m2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare(loaded, s2); len(diffs) != 0 {
+		t.Fatalf("cross-run comparison failed: %v", diffs)
+	}
+}

@@ -1,0 +1,294 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestElementwiseOps(t *testing.T) {
+	a := New([]float32{1, 2, 3, 4}, 2, 2)
+	b := New([]float32{10, 20, 30, 40}, 2, 2)
+	if got := Add(a, b).Data(); got[3] != 44 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 9 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data(); got[2] != 90 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Scale(a, 2).Data(); got[1] != 4 {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := New([]float32{1, 2, 3}, 3)
+	b := New([]float32{10, 10, 10}, 3)
+	AddInPlace(a, b)
+	if a.Data()[0] != 11 {
+		t.Fatalf("AddInPlace = %v", a.Data())
+	}
+	Axpy(0.5, a, b)
+	if a.Data()[0] != 16 {
+		t.Fatalf("Axpy = %v", a.Data())
+	}
+	ScaleInPlace(a, 2)
+	if a.Data()[0] != 32 {
+		t.Fatalf("ScaleInPlace = %v", a.Data())
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := New([]float32{-1, 2, -3}, 3)
+	relu := Apply(a, func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	want := []float32{0, 2, 0}
+	for i, v := range relu.Data() {
+		if v != want[i] {
+			t.Fatalf("Apply = %v, want %v", relu.Data(), want)
+		}
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := Zeros(2), Zeros(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	Add(a, b)
+}
+
+func TestSumAndMean(t *testing.T) {
+	a := New([]float32{1, 2, 3, 4}, 4)
+	if s := Sum(a, Deterministic); s != 10 {
+		t.Fatalf("Sum = %v", s)
+	}
+	if m := Mean(a, Deterministic); m != 2.5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	empty := Zeros(0)
+	if m := Mean(empty, Deterministic); m != 0 {
+		t.Fatalf("Mean(empty) = %v", m)
+	}
+}
+
+func TestDotSerialMatchesKnown(t *testing.T) {
+	a := New([]float32{1, 2, 3}, 3)
+	b := New([]float32{4, 5, 6}, 3)
+	if d := Dot(a, b, Deterministic); d != 32 {
+		t.Fatalf("Dot = %v, want 32", d)
+	}
+}
+
+// Deterministic reductions must be bit-identical across repeated runs.
+func TestDeterministicSumIsStable(t *testing.T) {
+	r := NewRNG(7)
+	a := Uniform(r, -1, 1, 100000)
+	first := Sum(a, Deterministic)
+	for i := 0; i < 20; i++ {
+		if got := Sum(a, Deterministic); got != first {
+			t.Fatalf("deterministic Sum varied: %v vs %v", got, first)
+		}
+	}
+}
+
+// Parallel reductions are approximately equal but may differ in low bits.
+func TestParallelSumClose(t *testing.T) {
+	r := NewRNG(11)
+	a := Uniform(r, -1, 1, 100000)
+	det := float64(Sum(a, Deterministic))
+	par := float64(Sum(a, Parallel))
+	if math.Abs(det-par) > 1e-1 {
+		t.Fatalf("parallel sum too far off: %v vs %v", par, det)
+	}
+}
+
+// Figure 2: different association orders of the same dot product can yield
+// different float results. The serial and pairwise reductions are both
+// deterministic yet associate differently; for long random vectors they are
+// expected to disagree in the low bits.
+func TestFigure2DotProductAssociation(t *testing.T) {
+	r := NewRNG(1234)
+	a := Uniform(r, -1, 1, 1<<16)
+	b := Uniform(r, -1, 1, 1<<16)
+	serial := Dot(a, b, Deterministic)
+	pairwise := DotPairwise(a, b)
+	if math.Abs(float64(serial-pairwise)) > 1e-1 {
+		t.Fatalf("reductions too far apart: %v vs %v", serial, pairwise)
+	}
+	// Both orders are individually reproducible.
+	if Dot(a, b, Deterministic) != serial {
+		t.Fatal("serial dot not reproducible")
+	}
+	if DotPairwise(a, b) != pairwise {
+		t.Fatal("pairwise dot not reproducible")
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot(Zeros(2), Zeros(3), Deterministic)
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := New([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := New([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b, Deterministic)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	r := NewRNG(3)
+	a := Uniform(r, -1, 1, 37, 53)
+	b := Uniform(r, -1, 1, 53, 29)
+	det := MatMul(a, b, Deterministic)
+	par := MatMul(a, b, Parallel)
+	// Row-parallel matmul keeps per-element accumulation order fixed, so the
+	// results must be bit-identical.
+	if !det.Equal(par) {
+		t.Fatal("parallel MatMul differs from serial")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(Zeros(2, 3), Zeros(4, 2), Deterministic)
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := New([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose2D(a)
+	if at.Dim(0) != 3 || at.Dim(1) != 2 {
+		t.Fatalf("Transpose shape = %v", at.Shape())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("Transpose values wrong: %v", at)
+	}
+}
+
+func TestMaxAbsArgMax(t *testing.T) {
+	a := New([]float32{-5, 2, 4, -1}, 4)
+	if MaxAbs(a) != 5 {
+		t.Fatalf("MaxAbs = %v", MaxAbs(a))
+	}
+	if ArgMax(a) != 2 {
+		t.Fatalf("ArgMax = %d", ArgMax(a))
+	}
+	ties := New([]float32{3, 3, 3}, 3)
+	if ArgMax(ties) != 0 {
+		t.Fatal("ArgMax should resolve ties to lowest index")
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	a := New([]float32{3, 4}, 2)
+	if n := L2Norm(a); math.Abs(float64(n)-5) > 1e-6 {
+		t.Fatalf("L2Norm = %v, want 5", n)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Deterministic.String() != "deterministic" || Parallel.String() != "parallel" {
+		t.Fatal("Mode.String wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should still stringify")
+	}
+}
+
+// Property: Add is commutative elementwise (float add is commutative even
+// though it is not associative).
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(x, y []float32) bool {
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		a := New(append([]float32(nil), x[:n]...), n)
+		b := New(append([]float32(nil), y[:n]...), n)
+		return Add(a, b).Equal(Add(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sub(a, a) is all zeros for finite inputs.
+func TestSubSelfZeroProperty(t *testing.T) {
+	f := func(x []float32) bool {
+		for i, v := range x {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				x[i] = 0
+			}
+		}
+		a := New(x, len(x))
+		d := Sub(a, a)
+		for _, v := range d.Data() {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	seen := make([]int32, 1000)
+	parallelFor(len(seen), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	parallelFor(0, func(lo, hi int) { t.Fatal("body should not run for n=0") })
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatal("SetWorkers(0) should clamp to 1")
+	}
+	SetWorkers(4)
+	if Workers() != 4 {
+		t.Fatal("SetWorkers(4) failed")
+	}
+	// Single worker parallel paths fall back to serial.
+	SetWorkers(1)
+	a := New([]float32{1, 2, 3}, 3)
+	if Sum(a, Parallel) != 6 {
+		t.Fatal("single-worker parallel sum wrong")
+	}
+	if Dot(a, a, Parallel) != 14 {
+		t.Fatal("single-worker parallel dot wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers is the number of goroutines used for parallel tensor operations.
+// It is fixed at package init so the chunking of parallel reductions does
+// not change while a process runs.
+var workers = maxInt(1, runtime.NumCPU())
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Workers returns the degree of parallelism used by Parallel-mode operations.
+func Workers() int { return workers }
+
+// SetWorkers overrides the degree of parallelism. Intended for tests and
+// benchmarks; n < 1 is clamped to 1.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workers = n
+}
+
+// parallelFor splits [0, n) into contiguous chunks and runs body on each
+// chunk concurrently. body must not assume any ordering between chunks.
+func parallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sumParallel sums x with goroutine-parallel partial sums that are combined
+// in completion order. Because float32 addition is not associative, the
+// result can differ between runs — this is the intentionally non-reproducible
+// reduction used to model non-deterministic kernels.
+func sumParallel(x []float32) float32 {
+	n := len(x)
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return sumSerial(x)
+	}
+	chunk := (n + w - 1) / w
+	parts := make(chan float32, w)
+	count := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		count++
+		go func(seg []float32) {
+			parts <- sumSerial(seg)
+		}(x[lo:hi])
+	}
+	var s float32
+	for i := 0; i < count; i++ {
+		s += <-parts // arrival order: non-deterministic association
+	}
+	return s
+}
+
+// dotParallel computes the inner product with goroutine-parallel partial
+// products combined in completion order (non-deterministic association).
+func dotParallel(x, y []float32) float32 {
+	n := len(x)
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return dotSerial(x, y)
+	}
+	chunk := (n + w - 1) / w
+	parts := make(chan float32, w)
+	count := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		count++
+		go func(xs, ys []float32) {
+			parts <- dotSerial(xs, ys)
+		}(x[lo:hi], y[lo:hi])
+	}
+	var s float32
+	for i := 0; i < count; i++ {
+		s += <-parts
+	}
+	return s
+}

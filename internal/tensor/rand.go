@@ -1,0 +1,111 @@
+package tensor
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator. The paper
+// (Section 2.3, "Intentional Randomness") requires all randomness used in
+// training — weight initialization, data augmentation, dropout — to be fully
+// determined by a seed so model training can be reproduced bit-identically.
+// SplitMix64 is small, fast, platform independent, and has well-understood
+// statistical quality, which makes runs reproducible across machines.
+type RNG struct {
+	state uint64
+	// cached spare normal variate for Box-Muller
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG creates a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a pseudo-random float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// NormFloat64 returns a standard normally distributed float64 using the
+// Box-Muller transform (chosen over ziggurat for platform independence).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent generator from r's stream. Forked generators
+// let independent components (e.g. per-layer initialization) consume
+// randomness without perturbing each other's sequences.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa02bdbf7bb3c0a7a)
+}
+
+// Uniform creates a tensor of the given shape with elements drawn uniformly
+// from [lo, hi).
+func Uniform(r *RNG, lo, hi float32, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*r.Float32()
+	}
+	return t
+}
+
+// Normal creates a tensor of the given shape with elements drawn from a
+// normal distribution with the given mean and standard deviation.
+func Normal(r *RNG, mean, std float32, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*float32(r.NormFloat64())
+	}
+	return t
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary format (little endian):
+//
+//	magic   uint32  0x544e5352 ("RSNT")
+//	version uint16  1
+//	ndim    uint16
+//	dims    ndim × uint32
+//	data    prod(dims) × float32 (IEEE-754 bits)
+//
+// The format is fixed and platform independent so tensors serialized on one
+// machine deserialize bit-identically on another — a requirement for the
+// paper's cross-machine model recovery.
+const (
+	magic         = 0x544e5352
+	formatVersion = 1
+)
+
+// WriteTo serializes t to w in the binary tensor format and returns the
+// number of bytes written.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	put32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		m, err := bw.Write(b[:])
+		n += int64(m)
+		return err
+	}
+	put16 := func(v uint16) error {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], v)
+		m, err := bw.Write(b[:])
+		n += int64(m)
+		return err
+	}
+	if err := put32(magic); err != nil {
+		return n, err
+	}
+	if err := put16(formatVersion); err != nil {
+		return n, err
+	}
+	if len(t.shape) > math.MaxUint16 {
+		return n, fmt.Errorf("tensor: rank %d too large to serialize", len(t.shape))
+	}
+	if err := put16(uint16(len(t.shape))); err != nil {
+		return n, err
+	}
+	for _, d := range t.shape {
+		if d > math.MaxUint32 {
+			return n, fmt.Errorf("tensor: dimension %d too large to serialize", d)
+		}
+		if err := put32(uint32(d)); err != nil {
+			return n, err
+		}
+	}
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(t.data); off += 4096 {
+		end := off + 4096
+		if end > len(t.data) {
+			end = len(t.data)
+		}
+		chunk := t.data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		m, err := bw.Write(buf[:len(chunk)*4])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a tensor from r.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tensor: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != magic {
+		return nil, fmt.Errorf("tensor: bad magic %#x", binary.LittleEndian.Uint32(hdr[:4]))
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != formatVersion {
+		return nil, fmt.Errorf("tensor: unsupported format version %d", v)
+	}
+	ndim := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	shape := make([]int, ndim)
+	var db [4]byte
+	for i := range shape {
+		if _, err := io.ReadFull(br, db[:]); err != nil {
+			return nil, fmt.Errorf("tensor: reading dims: %w", err)
+		}
+		shape[i] = int(binary.LittleEndian.Uint32(db[:]))
+	}
+	n := Prod(shape)
+	t := Zeros(shape...)
+	buf := make([]byte, 4*4096)
+	for off := 0; off < n; off += 4096 {
+		end := off + 4096
+		if end > n {
+			end = n
+		}
+		want := (end - off) * 4
+		if _, err := io.ReadFull(br, buf[:want]); err != nil {
+			return nil, fmt.Errorf("tensor: reading data: %w", err)
+		}
+		for i := off; i < end; i++ {
+			t.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[(i-off)*4:]))
+		}
+	}
+	return t, nil
+}
+
+// SerializedSize returns the exact number of bytes WriteTo will produce.
+func (t *Tensor) SerializedSize() int64 {
+	return int64(8 + 4*len(t.shape) + 4*len(t.data))
+}
+
+// Hash returns the hex-encoded SHA-256 digest of the tensor's shape and raw
+// IEEE-754 data. Equal tensors hash equally on every platform; this is the
+// per-layer checksum the parameter update approach stores in its Merkle tree
+// and the baseline stores for recovery verification.
+func (t *Tensor) Hash() string {
+	h := sha256.New()
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(t.shape)))
+	h.Write(b[:])
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(b[:], uint32(d))
+		h.Write(b[:])
+	}
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(t.data); off += 4096 {
+		end := off + 4096
+		if end > len(t.data) {
+			end = len(t.data)
+		}
+		chunk := t.data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		h.Write(buf[:len(chunk)*4])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,197 @@
+// Package tensor implements a dense float32 tensor library used as the
+// numerical substrate for the mmlib-go reproduction. It provides shape
+// handling, elementwise and linear-algebra operations with deterministic and
+// parallel (order-dependent) reduction modes, a seeded pseudo-random number
+// generator, binary serialization, and content hashing.
+//
+// The parallel reduction modes exist to reproduce the floating-point
+// non-associativity discussion of the paper (Figure 2): summing the same
+// values in a different order can yield a slightly different float result.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float32 tensor. The zero value is not usable;
+// construct tensors with New, Zeros, Full, or the random constructors.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New creates a tensor with the given shape backed by data. The data slice is
+// used directly (not copied); it must have exactly Prod(shape) elements.
+func New(data []float32, shape ...int) *Tensor {
+	n := Prod(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: cloneInts(shape), data: data}
+}
+
+// Zeros creates a tensor of the given shape filled with zeros.
+func Zeros(shape ...int) *Tensor {
+	return &Tensor{shape: cloneInts(shape), data: make([]float32, Prod(shape))}
+}
+
+// Full creates a tensor of the given shape with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Scalar creates a 0-dimensional tensor holding v.
+func Scalar(v float32) *Tensor {
+	return &Tensor{shape: []int{}, data: []float32{v}}
+}
+
+// Prod returns the product of dims; the empty product is 1.
+func Prod(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, dims))
+		}
+		n *= d
+	}
+	return n
+}
+
+func cloneInts(s []int) []int {
+	c := make([]int, len(s))
+	copy(c, s)
+	return c
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return cloneInts(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NDim returns the number of dimensions.
+func (t *Tensor) NDim() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying data slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set assigns v to the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong rank for shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := Zeros(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the tensor with a new shape. The total number of
+// elements must be unchanged. The returned tensor shares data with t.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if Prod(shape) != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{shape: cloneInts(shape), data: t.data}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether t and o have identical shapes and bit-identical
+// data. This is the model-equality notion of the paper (Section 2.1):
+// recovered models must be exactly equal, not approximately equal.
+// Comparison is over the IEEE-754 bit patterns, so NaN payloads compare
+// equal to themselves — a state dict holding NaNs (e.g. from a diverged
+// training run) still round-trips as "exactly equal", consistent with the
+// content hashes used for checksum verification.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		if math.Float32bits(t.data[i]) != math.Float32bits(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether every element of t is within atol of the
+// corresponding element of o. Used by tests and the probing tool when
+// checking near-but-not-exact reproduction (e.g. parallel reductions).
+func (t *Tensor) AllClose(o *Tensor, atol float32) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.data {
+		d := t.data[i] - o.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > atol {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// String renders a short human-readable description of the tensor.
+func (t *Tensor) String() string {
+	if len(t.data) <= 8 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%v %v %v ...; n=%d]", t.shape, t.data[0], t.data[1], t.data[2], len(t.data))
+}

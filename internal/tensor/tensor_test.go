@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	tr := New([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if tr.NDim() != 2 || tr.Dim(0) != 2 || tr.Dim(1) != 3 {
+		t.Fatalf("bad shape: %v", tr.Shape())
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	if got := tr.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", got)
+	}
+	tr.Set(42, 0, 1)
+	if got := tr.At(0, 1); got != 42 {
+		t.Fatalf("Set/At = %v, want 42", got)
+	}
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	New([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	tr := Zeros(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	tr.At(2, 0)
+}
+
+func TestZerosFullScalar(t *testing.T) {
+	z := Zeros(3, 2)
+	for _, v := range z.Data() {
+		if v != 0 {
+			t.Fatal("Zeros not zero")
+		}
+	}
+	f := Full(2.5, 4)
+	for _, v := range f.Data() {
+		if v != 2.5 {
+			t.Fatal("Full wrong value")
+		}
+	}
+	s := Scalar(7)
+	if s.NDim() != 0 || s.Len() != 1 || s.Data()[0] != 7 {
+		t.Fatalf("Scalar bad: %v", s)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New([]float32{1, 2, 3}, 3)
+	b := a.Clone()
+	b.Data()[0] = 99
+	if a.Data()[0] != 1 {
+		t.Fatal("Clone shares data")
+	}
+	if !a.SameShape(b) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a := New([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	if b.At(2, 1) != 6 {
+		t.Fatalf("Reshape wrong layout: %v", b)
+	}
+	// Views share data.
+	b.Set(-1, 0, 0)
+	if a.At(0, 0) != -1 {
+		t.Fatal("Reshape should share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid reshape")
+		}
+	}()
+	a.Reshape(4, 2)
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := New([]float32{1, 2, 3}, 3)
+	b := New([]float32{1, 2, 3}, 3)
+	c := New([]float32{1, 2, 3.001}, 3)
+	if !a.Equal(b) {
+		t.Fatal("equal tensors not Equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("unequal tensors Equal")
+	}
+	if !a.AllClose(c, 0.01) {
+		t.Fatal("AllClose(0.01) should hold")
+	}
+	if a.AllClose(c, 0.0001) {
+		t.Fatal("AllClose(0.0001) should not hold")
+	}
+	d := New([]float32{1, 2, 3}, 1, 3)
+	if a.Equal(d) || a.AllClose(d, 1) {
+		t.Fatal("shape mismatch must not compare equal")
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	a := Zeros(4)
+	a.Fill(3)
+	if a.Data()[2] != 3 {
+		t.Fatal("Fill failed")
+	}
+	a.Zero()
+	if a.Data()[2] != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestProd(t *testing.T) {
+	if Prod(nil) != 1 {
+		t.Fatal("empty product should be 1")
+	}
+	if Prod([]int{2, 3, 4}) != 24 {
+		t.Fatal("Prod wrong")
+	}
+}
+
+func TestStringShortAndLong(t *testing.T) {
+	if s := New([]float32{1, 2}, 2).String(); s == "" {
+		t.Fatal("empty String")
+	}
+	if s := Zeros(100).String(); s == "" {
+		t.Fatal("empty String for long tensor")
+	}
+}
+
+func TestEqualTreatsNaNBitwise(t *testing.T) {
+	nan := float32(math.NaN())
+	a := New([]float32{1, nan, 3}, 3)
+	b := New([]float32{1, nan, 3}, 3)
+	if !a.Equal(b) {
+		t.Fatal("identical NaN payloads must compare equal (bitwise identity)")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical NaN payloads must hash equal")
+	}
+	c := New([]float32{1, 2, 3}, 3)
+	if a.Equal(c) {
+		t.Fatal("NaN vs number must differ")
+	}
+}
+
+// Property: Clone always yields an Equal tensor with the same hash.
+func TestCloneEqualProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		a := New(vals, len(vals))
+		b := a.Clone()
+		return a.Equal(b) && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

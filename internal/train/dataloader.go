@@ -1,0 +1,94 @@
+package train
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// LoaderConfig holds the constructor arguments of a DataLoader. It is the
+// wrapper-object configuration of the paper's stateless parametrized
+// objects: a dataloader is fully reconstructed from these arguments plus a
+// dataset reference.
+type LoaderConfig struct {
+	BatchSize int    `json:"batch_size"`
+	OutH      int    `json:"out_h"`
+	OutW      int    `json:"out_w"`
+	Shuffle   bool   `json:"shuffle"`
+	Seed      uint64 `json:"seed"`
+}
+
+// DataLoader batches a dataset into input tensors and labels. It has no
+// internal state: iteration order for any epoch is a pure function of the
+// configuration, so the same loader configuration over the same dataset
+// yields identical batches — a requirement for reproducing model training.
+type DataLoader struct {
+	Config  LoaderConfig
+	Dataset *dataset.Dataset
+}
+
+// NewDataLoader creates a loader over ds.
+func NewDataLoader(ds *dataset.Dataset, cfg LoaderConfig) (*DataLoader, error) {
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("train: batch size %d", cfg.BatchSize)
+	}
+	if cfg.OutH <= 0 || cfg.OutW <= 0 {
+		return nil, fmt.Errorf("train: output size %dx%d", cfg.OutH, cfg.OutW)
+	}
+	return &DataLoader{Config: cfg, Dataset: ds}, nil
+}
+
+// Batch is one mini-batch of decoded images and labels.
+type Batch struct {
+	// X is [B, 3, OutH, OutW] in [0, 1].
+	X *tensor.Tensor
+	// Labels holds the class index of each sample.
+	Labels []int
+}
+
+// NumBatches returns the number of full batches per epoch. A trailing
+// partial batch is dropped (like PyTorch's drop_last), keeping every batch
+// shape identical and epochs reproducible.
+func (l *DataLoader) NumBatches() int {
+	return l.Dataset.Len() / l.Config.BatchSize
+}
+
+// order returns the deterministic sample order for an epoch.
+func (l *DataLoader) order(epoch int) []int {
+	n := l.Dataset.Len()
+	if !l.Config.Shuffle {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	rng := tensor.NewRNG(l.Config.Seed + uint64(epoch)*0x9e3779b97f4a7c15)
+	return rng.Perm(n)
+}
+
+// Batch materializes batch b of the given epoch.
+func (l *DataLoader) Batch(epoch, b int) Batch {
+	bs := l.Config.BatchSize
+	if b < 0 || b >= l.NumBatches() {
+		panic(fmt.Sprintf("train: batch %d out of range", b))
+	}
+	ord := l.order(epoch)
+	x := tensor.Zeros(bs, 3, l.Config.OutH, l.Config.OutW)
+	labels := make([]int, bs)
+	per := 3 * l.Config.OutH * l.Config.OutW
+	for i := 0; i < bs; i++ {
+		idx := ord[b*bs+i]
+		img := l.Dataset.Image(idx, l.Config.OutH, l.Config.OutW)
+		copy(x.Data()[i*per:(i+1)*per], img.Data())
+		labels[i] = l.Dataset.Label(idx)
+	}
+	return Batch{X: x, Labels: labels}
+}
+
+// MarshalConfig encodes the constructor arguments as JSON.
+func (l *DataLoader) MarshalConfig() (json.RawMessage, error) {
+	return json.Marshal(l.Config)
+}

@@ -1,0 +1,78 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy computes the mean softmax cross-entropy loss of logits
+// [N, C] against integer labels, and the gradient of the loss with respect
+// to the logits. All reductions run serially in index order, so the loss is
+// deterministic regardless of execution mode; the deterministic/parallel
+// split of the evaluation lives in the convolution kernels where the paper
+// locates it.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("train: CrossEntropy needs [N, C] logits, got %v", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("train: %d labels for %d samples", len(labels), n))
+	}
+	grad := tensor.Zeros(n, c)
+	ld, gd := logits.Data(), grad.Data()
+	var total float64
+	invN := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		grow := gd[i*c : (i+1)*c]
+		label := labels[i]
+		if label < 0 || label >= c {
+			panic(fmt.Sprintf("train: label %d out of range [0,%d)", label, c))
+		}
+		// Stable softmax: subtract the row max.
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			grow[j] = float32(e)
+			sum += e
+		}
+		logSum := math.Log(sum)
+		total += logSum - float64(row[label]-max)
+		scale := float32(1/sum) * invN
+		for j := range grow {
+			grow[j] *= scale
+		}
+		grow[label] -= invN
+	}
+	return float32(total / float64(n)), grad
+}
+
+// Accuracy returns the fraction of samples whose argmax logit matches the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float32 {
+	n, c := logits.Dim(0), logits.Dim(1)
+	ld := logits.Data()
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := ld[i*c : (i+1)*c]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float32(correct) / float32(n)
+}

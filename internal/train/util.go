@@ -1,0 +1,8 @@
+package train
+
+import (
+	"bytes"
+	"io"
+)
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -1,0 +1,220 @@
+package mmlib
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/docdb"
+)
+
+func TestEndToEndAllApproachesLocalStores(t *testing.T) {
+	stores, err := OpenLocalStores(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateDataset(DatasetSpec{Name: "api", Images: 8, H: 12, W: 12, Classes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, newSvc := range []func(Stores) SaveService{NewBaseline, NewParamUpdate, NewProvenance, NewAdaptive} {
+		svc := newSvc(stores)
+		net, err := BuildModel(TinyCNN, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := Spec{Arch: TinyCNN, NumClasses: 4}
+		u1, err := svc.Save(SaveInfo{Spec: spec, Net: net, WithChecksums: true})
+		if err != nil {
+			t.Fatalf("%s: %v", svc.Approach(), err)
+		}
+
+		// Derived model: train with a recorded service.
+		tsvc, err := NewTrainService(ds,
+			LoaderConfig{BatchSize: 4, OutH: 12, OutW: 12, Shuffle: true, Seed: 2},
+			SGDConfig{LR: 0.05, Momentum: 0.9},
+			ServiceConfig{Epochs: 1, Seed: 3, Deterministic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := NewProvenanceRecord(tsvc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Train(net); err != nil {
+			t.Fatal(err)
+		}
+		u3, err := svc.Save(SaveInfo{Spec: spec, Net: net, BaseID: u1.ID, WithChecksums: true, Provenance: rec})
+		if err != nil {
+			t.Fatalf("%s: %v", svc.Approach(), err)
+		}
+
+		got, err := svc.Recover(u3.ID, RecoverOptions{VerifyChecksums: true})
+		if err != nil {
+			t.Fatalf("%s: %v", svc.Approach(), err)
+		}
+		if !ModelEqual(net, got.Net) {
+			t.Fatalf("%s: recovered model differs", svc.Approach())
+		}
+	}
+}
+
+func TestConnectStoresAgainstServer(t *testing.T) {
+	srv, err := docdb.NewServer(docdb.NewMemStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stores, err := ConnectStores(srv.Addr(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stores.Meta.Close()
+
+	svc := NewBaseline(stores)
+	net, _ := BuildModel(TinyCNN, 4, 1)
+	res, err := svc.Save(SaveInfo{Spec: Spec{Arch: TinyCNN, NumClasses: 4}, Net: net, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Recover(res.ID, RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ModelEqual(net, got.Net) {
+		t.Fatal("recovered model differs over the network store")
+	}
+	if _, err := svc.Recover("missing", RecoverOptions{}); !errors.Is(err, ErrModelNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConnectStoresBadAddress(t *testing.T) {
+	if _, err := ConnectStores("127.0.0.1:1", t.TempDir()); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestVerifyReproducible(t *testing.T) {
+	net, err := BuildModel(TinyCNN, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProbeConfig{Seed: 1, BatchSize: 2, H: 12, W: 12, Classes: 4, Deterministic: true}
+	ok, diffs, err := VerifyReproducible(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("deterministic model not reproducible: %v", diffs)
+	}
+}
+
+func TestInferenceThroughFacade(t *testing.T) {
+	ds, err := GenerateDataset(DatasetSpec{Name: "inf", Images: 12, H: 16, W: 16, Classes: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildModel(TinyCNN, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels, err := BatchOf(ds, 0, 6, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 6 || x.Dim(0) != 6 {
+		t.Fatalf("batch: %v / %d labels", x.Shape(), len(labels))
+	}
+	preds, err := Predict(net, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 6 {
+		t.Fatalf("preds = %d", len(preds))
+	}
+	rep, err := EvaluateModel(net, ds, 4, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 12 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, _, err := BatchOf(ds, 5, 2, 16, 16); err == nil {
+		t.Fatal("expected error for bad range")
+	}
+	// A recovered model predicts identically — the debugging guarantee.
+	stores, err := OpenLocalStores(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewBaseline(stores)
+	res, err := svc.Save(SaveInfo{Spec: Spec{Arch: TinyCNN, NumClasses: 4}, Net: net, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := svc.Recover(res.ID, RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds2, err := Predict(rec.Net, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds {
+		if preds[i].Class != preds2[i].Class || preds[i].Prob != preds2[i].Prob {
+			t.Fatal("recovered model predicts differently")
+		}
+	}
+}
+
+func TestCatalogAndWarehouseFacade(t *testing.T) {
+	stores, err := OpenLocalStores(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewDatasetManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewProvenanceWithManager(stores, mgr)
+	net, _ := BuildModel(TinyCNN, 4, 3)
+	spec := Spec{Arch: TinyCNN, NumClasses: 4}
+	u1, err := svc.Save(SaveInfo{Spec: spec, Net: net, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(stores)
+	entries, err := cat.List()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("catalog list: %v, %v", entries, err)
+	}
+	if err := cat.Delete(u1.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cat.CollectGarbage(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if len(EvaluationModels()) != 5 {
+		t.Fatal("expected 5 evaluation models")
+	}
+	net, _ := BuildModel(TinyCNN, 4, 1)
+	if NumParams(net) <= 0 {
+		t.Fatal("NumParams")
+	}
+	FreezeForPartialUpdate(TinyCNN, net)
+	env := CaptureEnvironment()
+	if err := CheckEnvironment(env); err != nil {
+		t.Fatal(err)
+	}
+	if Describe(SaveResult{Approach: "baseline", ID: "x"}) == "" {
+		t.Fatal("Describe empty")
+	}
+	if DefaultProbeConfig().BatchSize <= 0 {
+		t.Fatal("probe config")
+	}
+}
