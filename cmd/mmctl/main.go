@@ -64,7 +64,9 @@ func main() {
 		for _, e := range entries {
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d B\n", e.ID, e.Approach, e.Kind, short(e.BaseID), e.StorageBytes)
 		}
-		tw.Flush()
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
 
 	case "lineage":
 		id := need(args, "lineage")
@@ -129,10 +131,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		n, err := nn.StateDictOf(rec.Net).WriteTo(f)
-		if err != nil {
-			fatal(err)
+		n, werr := nn.StateDictOf(rec.Net).WriteTo(f)
+		cerr := f.Close()
+		if werr != nil {
+			fatal(werr)
+		}
+		if cerr != nil {
+			fatal(cerr)
 		}
 		fmt.Printf("recovered %s (%s, %d classes): %d B of parameters -> %s (ttr %s)\n",
 			id, rec.Spec.Arch, rec.Spec.NumClasses, n, *out, rec.Timing.Total())

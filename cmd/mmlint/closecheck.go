@@ -1,0 +1,144 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// closecheck: a Close/Flush/Sync error on a writable file, buffered writer,
+// or network conn is the moment the OS tells you buffered bytes were lost —
+// exactly the durability a model-management store must not gamble away
+// (paper Sec. 3: saved snapshots/updates are the recovery source of truth).
+// Discarding that error (`defer f.Close()`, `_ = w.Flush()`) on a writable
+// handle is flagged. Closes of handles opened with os.Open (read-only) are
+// exempt: nothing buffered can be lost.
+const nameCloseCheck = "closecheck"
+
+var closeCheckAnalyzer = &Analyzer{
+	Name: nameCloseCheck,
+	Doc:  "discarded error from Close/Flush/Sync on a writable file or conn",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		readonly := readonlyHandles(p, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+				kind = "discarded"
+			case *ast.DeferStmt:
+				call = st.Call
+				kind = "discarded by defer"
+			case *ast.GoStmt:
+				call = st.Call
+				kind = "discarded in goroutine"
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 || !allBlank(st.Lhs) {
+					return true
+				}
+				call, _ = st.Rhs[0].(*ast.CallExpr)
+				kind = "explicitly discarded"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, method := closeLikeCall(p, call)
+			if sel == nil {
+				return true
+			}
+			recvType := p.Info.TypeOf(sel.X)
+			if recvType == nil || !implementsWriter(recvType) {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && readonly[obj] {
+					return true
+				}
+			}
+			out = append(out, p.findingAt(call.Pos(), nameCloseCheck,
+				"%s error %s on writable %s; a failed %s can lose buffered writes — check or propagate it",
+				method, kind, types.TypeString(recvType, nil), method))
+			return true
+		})
+	}
+	return out
+}
+
+// closeLikeCall returns the selector and method name if call is an
+// argument-less Close/Flush/Sync method returning exactly one error.
+func closeLikeCall(p *Package, call *ast.CallExpr) (*ast.SelectorExpr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, ""
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Flush" && name != "Sync" {
+		return nil, ""
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok {
+		return nil, "" // qualified call like pkg.Close, not a method
+	}
+	sig, ok := selection.Obj().Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return nil, ""
+	}
+	return sel, name
+}
+
+// readonlyHandles collects objects assigned from os.Open / os.OpenFile with
+// O_RDONLY-looking call sites. Closing a read-only handle cannot lose data,
+// so closecheck leaves `defer f.Close()` on them alone.
+func readonlyHandles(p *Package, file *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || fn.Name() != "Open" {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 && len(st.Lhs) >= 1 {
+				record(st.Lhs[0], st.Rhs[0])
+			}
+		case *ast.ValueSpec:
+			if len(st.Values) == 1 && len(st.Names) >= 1 {
+				record(st.Names[0], st.Values[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output mmlint needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Fset       *token.FileSet
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// loadPackages resolves the patterns with `go list -export -deps -json`,
+// then parses and type-checks every matched (non-dependency) package from
+// source. Imports — both standard library and intra-module — are satisfied
+// from the compiler export data go list writes into the build cache, so the
+// loader needs nothing beyond the standard library and the go tool.
+func loadPackages(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, &p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		p, err := checkPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Fset:       fset,
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

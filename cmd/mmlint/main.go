@@ -1,0 +1,106 @@
+// Command mmlint is the repo-specific static-analysis gate. It enforces
+// invariants ordinary Go tooling cannot know about:
+//
+//	maprange-determinism  hash/Merkle/document-building code must not
+//	                      iterate maps (byte-stable PUA/MPA representations)
+//	closecheck            Close/Flush/Sync errors on writable handles must
+//	                      be checked (durability of saved models)
+//	panicfree             library packages return errors; only internal/nn
+//	                      and internal/tensor shape checks may panic
+//	nakedgoroutine        docdb/evalflow goroutines need WaitGroup/channel
+//	                      completion plumbing (leak-free shutdown)
+//
+// Usage:
+//
+//	go run ./cmd/mmlint [-json] [packages]
+//
+// Findings are suppressed with a justified directive on or directly above
+// the offending line:
+//
+//	//mmlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// Exit status: 0 when clean, 1 with findings, 2 on load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mmlint [-json] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-22s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmlint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "mmlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "mmlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// run loads the packages and produces the sorted, path-relativized list of
+// findings across every analyzer.
+func run(patterns []string) ([]Finding, error) {
+	pkgs, err := loadPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, p := range pkgs {
+		findings = append(findings, runPackage(p)...)
+	}
+	relativize(findings)
+	sortFindings(findings)
+	return findings, nil
+}
+
+// relativize rewrites absolute file paths below the working directory as
+// relative ones, so output is stable across checkouts.
+func relativize(fs []Finding) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range fs {
+		rel, err := filepath.Rel(cwd, fs[i].File)
+		if err == nil && !strings.HasPrefix(rel, "..") {
+			fs[i].File = filepath.ToSlash(rel)
+		}
+	}
+}

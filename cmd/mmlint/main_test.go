@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/findings.golden")
+
+// fixturePackages lists every fixture package, bad and clean alike, so the
+// golden file also proves the absence of false positives.
+var fixturePackages = []string{
+	"./testdata/src/maprange",
+	"./testdata/src/closecheck",
+	"./testdata/src/panicfree",
+	"./testdata/src/internal/nn",
+	"./testdata/src/docdb",
+	"./testdata/src/directives",
+	"./testdata/src/clean",
+}
+
+// TestFixtureFindings locks the exact findings — file:line:col, analyzer
+// name, and message — that the fixture tree produces.
+func TestFixtureFindings(t *testing.T) {
+	findings, err := run(fixturePackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, f := range findings {
+		fmt.Fprintln(&buf, f)
+	}
+	const golden = "testdata/findings.golden"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("findings diverge from %s (re-run with -update after verifying):\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestFixtureAnalyzerCoverage asserts every analyzer fires on its own
+// fixture and that each suppressed/clean case stays quiet.
+func TestFixtureAnalyzerCoverage(t *testing.T) {
+	findings, err := run(fixturePackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAnalyzer := map[string]int{}
+	for _, f := range findings {
+		perAnalyzer[f.Analyzer]++
+		if strings.Contains(f.File, "src/clean") || strings.Contains(f.File, "src/internal/nn") {
+			t.Errorf("false positive in clean fixture: %s", f)
+		}
+	}
+	want := map[string]int{
+		nameMapRange:       2,
+		nameCloseCheck:     3,
+		namePanicFree:      1,
+		nameNakedGoroutine: 2,
+		"mmlint":           2, // malformed directives
+	}
+	for name, n := range want {
+		if perAnalyzer[name] != n {
+			t.Errorf("analyzer %s: %d findings, want %d", name, perAnalyzer[name], n)
+		}
+	}
+}
+
+// TestSuppressions checks both directive placements (same line, line
+// above) actually silence findings in the fixtures.
+func TestSuppressions(t *testing.T) {
+	findings, err := run([]string{"./testdata/src/maprange", "./testdata/src/closecheck", "./testdata/src/panicfree", "./testdata/src/docdb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Line > 0 {
+			src, err := os.ReadFile(f.File)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(string(src), "\n")
+			for _, l := range []int{f.Line - 1, f.Line} {
+				if l-1 >= 0 && l-1 < len(lines) && strings.Contains(lines[l-1], "mmlint:ignore") {
+					t.Errorf("finding survived a suppression directive: %s", f)
+				}
+			}
+		}
+	}
+}
+
+// TestRepoIsClean is the gate the fixtures exist to protect: the real tree
+// must have zero findings.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads every package in the module")
+	}
+	findings, err := run([]string{"../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestExitCodes runs the binary the way CI does and checks the contract:
+// 1 with findings, 0 when clean.
+func TestExitCodes(t *testing.T) {
+	out, err := exec.Command("go", "run", ".", "./testdata/src/panicfree").CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("want exit code 1 on bad fixture, got err=%v output=%s", err, out)
+	}
+	if !strings.Contains(string(out), "panicfree") {
+		t.Fatalf("output missing finding: %s", out)
+	}
+	if out, err := exec.Command("go", "run", ".", "./testdata/src/clean").CombinedOutput(); err != nil {
+		t.Fatalf("want exit code 0 on clean fixture, got err=%v output=%s", err, out)
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode round-trips findings.
+func TestJSONOutput(t *testing.T) {
+	out, err := exec.Command("go", "run", ".", "-json", "./testdata/src/docdb").Output()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("want exit code 1, got %v", err)
+	}
+	var findings []Finding
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != nameNakedGoroutine || f.File != "testdata/src/docdb/docdb.go" || f.Line == 0 {
+			t.Errorf("unexpected finding %+v", f)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maprange-determinism: Go randomizes map iteration order on purpose. A
+// `for … range` over a map inside a function that feeds a hash.Hash, builds
+// a Merkle payload, or marshals a document bound for docdb/filestore makes
+// the stored bytes run-dependent, which breaks the byte-stable per-layer
+// hashes PUA's Merkle diffing and MPA's provenance verification rely on
+// (paper Sec. 4.2, 3.3). The fix is to iterate sorted keys; genuinely
+// order-independent aggregations may carry an //mmlint:ignore with a reason.
+const nameMapRange = "maprange-determinism"
+
+var mapRangeAnalyzer = &Analyzer{
+	Name: nameMapRange,
+	Doc:  "range over map in a function that hashes, Merkle-builds, or marshals persisted documents",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			sink := findDeterminismSink(p, fd.Body)
+			if sink == "" {
+				return false
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				// The sanctioned fix — collect keys, sort, iterate the
+				// slice — starts with a keys-only range that must not
+				// itself be flagged.
+				if rs.Value == nil && isKeyCollectionLoop(p, rs.Body) {
+					return true
+				}
+				out = append(out, p.findingAt(rs.Pos(), nameMapRange,
+					"map iteration order is random, but %s %s; iterate sorted keys to keep stored bytes reproducible",
+					fd.Name.Name, sink))
+				return true
+			})
+			return false
+		})
+	}
+	return out
+}
+
+// isKeyCollectionLoop reports whether a keys-only range body merely gathers
+// the keys (appends, assignments, conversions) without calling anything
+// that could observe the iteration order.
+func isKeyCollectionLoop(p *Package, body *ast.BlockStmt) bool {
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || !ok {
+			return ok
+		}
+		if tv, found := p.Info.Types[call.Fun]; found && tv.IsType() {
+			return true // conversion, not a call
+		}
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+			if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch b.Name() {
+				case "append", "len", "cap", "make":
+					return true
+				}
+			}
+		}
+		ok = false
+		return false
+	})
+	return ok
+}
+
+// findDeterminismSink reports why a function body is order-sensitive: it
+// returns a short description of the first hashing/marshaling/persisting
+// call found, or "" if the function has no such sink.
+func findDeterminismSink(p *Package, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink = classifySink(p, call)
+		return true
+	})
+	return sink
+}
+
+func classifySink(p *Package, call *ast.CallExpr) string {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkgPath := fn.Pkg().Path()
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Method calls on a hash.Hash state.
+	if sig != nil && sig.Recv() != nil && (name == "Write" || name == "Sum") &&
+		implementsHash(sig.Recv().Type()) {
+		return "feeds a hash.Hash"
+	}
+	// io.WriteString(h, …) where h is a hash.Hash.
+	if pkgPath == "io" && name == "WriteString" && len(call.Args) > 0 &&
+		implementsHash(p.Info.TypeOf(call.Args[0])) {
+		return "feeds a hash.Hash"
+	}
+	// JSON marshaling of documents (the docdb wire/storage format).
+	if pkgPath == "encoding/json" && (name == "Marshal" || name == "MarshalIndent" || name == "Encode") {
+		return "marshals a JSON document"
+	}
+	// Merkle payload construction.
+	if pathHasSegment(pkgPath, "merkle") && (name == "Build" || name == "NewLeaf") {
+		return "builds a Merkle payload"
+	}
+	// Direct persistence into the document store or file store.
+	if sig != nil && sig.Recv() != nil {
+		if pathHasSegment(pkgPath, "docdb") && (name == "Insert" || name == "Put" || name == "Update") {
+			return "persists documents to docdb"
+		}
+		if pathHasSegment(pkgPath, "filestore") && (name == "Save" || name == "SaveAs" || name == "SaveBytes") {
+			return "persists blobs to the file store"
+		}
+	}
+	return ""
+}

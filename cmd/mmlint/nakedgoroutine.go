@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nakedgoroutine: the docdb server and the evalflow DAG are the two places
+// this repo runs long-lived concurrency, and both must drain cleanly on
+// Close so that a node shutting down cannot strand half-written state
+// (paper Sec. 5 runs these across machines). A `go` statement there must be
+// visibly tied to completion plumbing: a sync.WaitGroup Add before launch,
+// a Done inside the goroutine, or a channel send/close that a collector
+// waits on. Fire-and-forget goroutines are flagged.
+const nameNakedGoroutine = "nakedgoroutine"
+
+var nakedGoroutineAnalyzer = &Analyzer{
+	Name: nameNakedGoroutine,
+	Doc:  "goroutine in docdb/evalflow without WaitGroup or channel completion plumbing",
+	Run:  runNakedGoroutine,
+}
+
+func runNakedGoroutine(p *Package) []Finding {
+	if !pathHasSegment(p.ImportPath, "docdb") && !pathHasSegment(p.ImportPath, "evalflow") {
+		return nil
+	}
+	decls := p.funcDecls()
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			adds := waitGroupAddPositions(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				// An Add earlier in the launching function counts as
+				// plumbing: the matching Wait will block on this goroutine.
+				tracked := false
+				for _, pos := range adds {
+					if pos < gs.Pos() {
+						tracked = true
+						break
+					}
+				}
+				if !tracked && goroutineSignalsCompletion(p, gs.Call, decls) {
+					tracked = true
+				}
+				if !tracked {
+					out = append(out, p.findingAt(gs.Pos(), nameNakedGoroutine,
+						"goroutine launched without completion plumbing (no WaitGroup Add/Done, channel send, or close); it can outlive Close and leak"))
+				}
+				return true
+			})
+			return false
+		})
+	}
+	return out
+}
+
+// waitGroupAddPositions returns the positions of sync.WaitGroup Add calls
+// in body.
+func waitGroupAddPositions(p *Package, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWaitGroupMethod(p, call, "Add") {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+func isWaitGroupMethod(p *Package, call *ast.CallExpr, name string) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// goroutineSignalsCompletion inspects the function the go statement runs —
+// a literal, or a same-package named function — for a completion signal:
+// a WaitGroup Done/Add, a channel send, or a close().
+func goroutineSignalsCompletion(p *Package, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) bool {
+	var body *ast.BlockStmt
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := p.calleeFunc(call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			}
+			if isWaitGroupMethod(p, n, "Done") || isWaitGroupMethod(p, n, "Add") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// panicfree: library packages in this repo must surface failures as errors
+// so that a bad save/recover aborts one request, not the whole model server.
+// panic() is allowed only in internal/nn and internal/tensor, where shape
+// mismatches are programming errors on the training hot path (the same
+// contract PyTorch has for shape asserts), and in package main binaries.
+const namePanicFree = "panicfree"
+
+var panicFreeAnalyzer = &Analyzer{
+	Name: namePanicFree,
+	Doc:  "panic in a library package outside the internal/nn, internal/tensor allowlist",
+	Run:  runPanicFree,
+}
+
+// panicAllowlisted reports whether the import path is sanctioned for
+// panics: the tensor/nn shape-check hot paths.
+func panicAllowlisted(path string) bool {
+	return pathHasSuffixSegments(path, "internal", "nn") ||
+		pathHasSuffixSegments(path, "internal", "tensor")
+}
+
+func runPanicFree(p *Package) []Finding {
+	if p.Pkg.Name() == "main" || panicAllowlisted(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := p.Info.Uses[id].(*types.Builtin); !ok || obj.Name() != "panic" {
+				return true
+			}
+			out = append(out, p.findingAt(call.Pos(), namePanicFree,
+				"panic in library package %s; return an error instead (only internal/nn and internal/tensor shape checks may panic)",
+				p.ImportPath))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Package clean is an mmlint fixture with no findings at all.
+package clean
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Render formats sorted key/value pairs.
+func Render(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d\n", k, m[k])
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+// Package closecheck is an mmlint fixture: discarded Close/Flush/Sync
+// errors on writable handles.
+package closecheck
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// BadDefer discards the Close error of a file opened for writing: flagged.
+func BadDefer(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// BadFlush drops a buffered writer's Flush error: flagged.
+func BadFlush(f *os.File, data []byte) error {
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	w.Flush()
+	return nil
+}
+
+// BadBlank explicitly discards a Sync error: flagged.
+func BadBlank(f *os.File) {
+	_ = f.Sync()
+}
+
+// CleanChecked propagates the Close error: not flagged.
+func CleanChecked(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// CleanReadOnly may keep the defer: nothing buffered can be lost on a
+// handle opened with os.Open.
+func CleanReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Suppressed documents a best-effort teardown close.
+func Suppressed(f *os.File) {
+	//mmlint:ignore closecheck error-path cleanup; the root-cause error is already being returned
+	f.Close()
+}

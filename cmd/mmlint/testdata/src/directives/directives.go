@@ -1,0 +1,10 @@
+// Package directives is an mmlint fixture: malformed suppression
+// directives are findings themselves, so a typo cannot silently disable a
+// gate.
+package directives
+
+//mmlint:ignore no-such-analyzer this analyzer name does not exist
+func A() {}
+
+//mmlint:ignore closecheck
+func B() {}

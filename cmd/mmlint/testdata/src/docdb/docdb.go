@@ -1,0 +1,56 @@
+// Package docdb is an mmlint fixture standing in for the concurrency-heavy
+// packages where goroutines need completion plumbing.
+package docdb
+
+import "sync"
+
+// BadLeak launches an untracked goroutine through a function value: flagged.
+func BadLeak(work func()) {
+	go work()
+}
+
+// BadLiteral launches an untracked literal: flagged.
+func BadLiteral() {
+	go func() {
+		println("work")
+	}()
+}
+
+// CleanWaitGroup registers with a WaitGroup before launching: not flagged.
+func CleanWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// CleanChannel signals completion with a send: not flagged.
+func CleanChannel(work func() int) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work()
+	}()
+	return <-ch
+}
+
+// CleanNamed launches a same-package function that closes its done channel:
+// not flagged.
+func CleanNamed() chan struct{} {
+	done := make(chan struct{})
+	go runAndClose(done)
+	return done
+}
+
+func runAndClose(done chan struct{}) {
+	defer close(done)
+	println("work")
+}
+
+// Suppressed carries a justified directive.
+func Suppressed(work func()) {
+	//mmlint:ignore nakedgoroutine fixture goroutine is self-terminating and owns no resources
+	go work()
+}

@@ -1,0 +1,10 @@
+// Package nn is an mmlint fixture standing in for the allowlisted
+// internal/nn shape-check hot path: panics here are sanctioned.
+package nn
+
+// MustShape panics on mismatch; allowlisted, so no finding.
+func MustShape(got, want int) {
+	if got != want {
+		panic("shape mismatch")
+	}
+}

@@ -1,0 +1,71 @@
+// Package maprange is an mmlint fixture: map iteration inside functions
+// that feed hashes or marshal documents.
+package maprange
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"sort"
+)
+
+// BadHash feeds a hash in map iteration order: flagged.
+func BadHash(m map[string][]byte) [32]byte {
+	h := sha256.New()
+	for k, v := range m {
+		h.Write([]byte(k))
+		h.Write(v)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// BadMarshal assembles a JSON payload in map iteration order: flagged even
+// though the marshal itself happens after the loop.
+func BadMarshal(m map[string]int) ([]byte, error) {
+	type kv struct {
+		K string `json:"k"`
+		V int    `json:"v"`
+	}
+	var rows []kv
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	return json.Marshal(rows)
+}
+
+// CleanSorted is the sanctioned fix: collect keys, sort, iterate the slice.
+func CleanSorted(m map[string][]byte) [32]byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write(m[k])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// CleanNoSink ranges a map but never hashes or marshals: not flagged.
+func CleanNoSink(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Suppressed is order-independent aggregation with a justified directive.
+func Suppressed(m map[string][]byte) ([]byte, error) {
+	total := 0
+	//mmlint:ignore maprange-determinism summing lengths is iteration-order independent
+	for _, v := range m {
+		total += len(v)
+	}
+	return json.Marshal(total)
+}

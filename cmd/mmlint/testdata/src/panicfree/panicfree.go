@@ -1,0 +1,28 @@
+// Package panicfree is an mmlint fixture: a library package without panic
+// privileges.
+package panicfree
+
+import "fmt"
+
+// Bad panics in a library package: flagged.
+func Bad(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+// Clean returns an error instead: not flagged.
+func Clean(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative %d", n)
+	}
+	return nil
+}
+
+// Suppressed carries a justified directive.
+func Suppressed(n int) {
+	if n > 1<<30 {
+		//mmlint:ignore panicfree unreachable by construction; callers validate n
+		panic("huge")
+	}
+}

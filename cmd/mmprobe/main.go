@@ -53,9 +53,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("mmprobe: %v", err)
 		}
-		defer f.Close()
-		if err := s.Save(f); err != nil {
-			log.Fatalf("mmprobe: %v", err)
+		serr := s.Save(f)
+		if cerr := f.Close(); serr == nil {
+			serr = cerr
+		}
+		if serr != nil {
+			log.Fatalf("mmprobe: %v", serr)
 		}
 		fmt.Printf("probe summary for %s written to %s\n", *arch, *savePath)
 

@@ -21,6 +21,7 @@ func (d *Dataset) WriteArchive(w io.Writer) (int64, error) {
 		return 0, err
 	}
 	if _, err := d.WriteTo(gz); err != nil {
+		//mmlint:ignore closecheck the write error being returned is the root cause; close is best-effort cleanup
 		gz.Close()
 		return cw.n, fmt.Errorf("dataset: archiving: %w", err)
 	}

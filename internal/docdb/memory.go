@@ -100,8 +100,10 @@ func (s *MemStore) Stats() (Stats, error) {
 	defer s.mu.RUnlock()
 	var st Stats
 	st.Collections = len(s.collections)
+	//mmlint:ignore maprange-determinism summing counts and sizes is iteration-order independent; nothing here is persisted
 	for _, col := range s.collections {
 		st.Documents += len(col)
+		//mmlint:ignore maprange-determinism summing counts and sizes is iteration-order independent; nothing here is persisted
 		for _, doc := range col {
 			b, err := json.Marshal(doc)
 			if err != nil {

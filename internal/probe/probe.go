@@ -62,15 +62,19 @@ type Summary struct {
 
 // Run executes one probe pass over m and returns its summary. The model's
 // parameters are not modified (gradients are zeroed afterwards); BatchNorm
-// buffers are snapshotted and restored so probing is side-effect free.
-func Run(m nn.Module, cfg Config) (Summary, error) {
+// buffers are snapshotted and restored so probing is side-effect free. A
+// failure to restore the buffers surfaces as an error: a silently mutated
+// model would poison every hash computed after the probe.
+func Run(m nn.Module, cfg Config) (summary Summary, err error) {
 	if cfg.BatchSize <= 0 || cfg.H <= 0 || cfg.W <= 0 || cfg.Classes <= 0 {
 		return Summary{}, fmt.Errorf("probe: invalid config %+v", cfg)
 	}
 	// Snapshot buffers (training-mode BatchNorm updates running stats).
 	snapshot := nn.StateDictOf(m).Clone()
 	defer func() {
-		_ = snapshot.LoadInto(m)
+		if rerr := snapshot.LoadInto(m); rerr != nil && err == nil {
+			summary, err = Summary{}, fmt.Errorf("probe: restoring buffers: %w", rerr)
+		}
 	}()
 
 	rng := tensor.NewRNG(cfg.Seed)
@@ -90,7 +94,10 @@ func Run(m nn.Module, cfg Config) (Summary, error) {
 	if out.NDim() != 2 || out.Dim(1) != cfg.Classes {
 		return Summary{}, fmt.Errorf("probe: model output %v does not match %d classes", out.Shape(), cfg.Classes)
 	}
-	loss, grad := train.CrossEntropy(out, labels)
+	loss, grad, err := train.CrossEntropy(out, labels)
+	if err != nil {
+		return Summary{}, err
+	}
 	nn.ZeroGrads(m)
 	m.Backward(ctx, grad)
 

@@ -69,11 +69,12 @@ func (l *DataLoader) order(epoch int) []int {
 	return rng.Perm(n)
 }
 
-// Batch materializes batch b of the given epoch.
-func (l *DataLoader) Batch(epoch, b int) Batch {
+// Batch materializes batch b of the given epoch. Requesting a batch index
+// outside [0, NumBatches()) is an error.
+func (l *DataLoader) Batch(epoch, b int) (Batch, error) {
 	bs := l.Config.BatchSize
 	if b < 0 || b >= l.NumBatches() {
-		panic(fmt.Sprintf("train: batch %d out of range", b))
+		return Batch{}, fmt.Errorf("train: batch %d out of range [0,%d)", b, l.NumBatches())
 	}
 	ord := l.order(epoch)
 	x := tensor.Zeros(bs, 3, l.Config.OutH, l.Config.OutW)
@@ -85,7 +86,7 @@ func (l *DataLoader) Batch(epoch, b int) Batch {
 		copy(x.Data()[i*per:(i+1)*per], img.Data())
 		labels[i] = l.Dataset.Label(idx)
 	}
-	return Batch{X: x, Labels: labels}
+	return Batch{X: x, Labels: labels}, nil
 }
 
 // MarshalConfig encodes the constructor arguments as JSON.

@@ -12,14 +12,15 @@ import (
 // to the logits. All reductions run serially in index order, so the loss is
 // deterministic regardless of execution mode; the deterministic/parallel
 // split of the evaluation lives in the convolution kernels where the paper
-// locates it.
-func CrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor) {
+// locates it. Malformed inputs — logits that are not [N, C], a label count
+// that does not match N, or a label outside [0, C) — yield an error.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor, error) {
 	if logits.NDim() != 2 {
-		panic(fmt.Sprintf("train: CrossEntropy needs [N, C] logits, got %v", logits.Shape()))
+		return 0, nil, fmt.Errorf("train: CrossEntropy needs [N, C] logits, got %v", logits.Shape())
 	}
 	n, c := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {
-		panic(fmt.Sprintf("train: %d labels for %d samples", len(labels), n))
+		return 0, nil, fmt.Errorf("train: %d labels for %d samples", len(labels), n)
 	}
 	grad := tensor.Zeros(n, c)
 	ld, gd := logits.Data(), grad.Data()
@@ -30,7 +31,7 @@ func CrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor)
 		grow := gd[i*c : (i+1)*c]
 		label := labels[i]
 		if label < 0 || label >= c {
-			panic(fmt.Sprintf("train: label %d out of range [0,%d)", label, c))
+			return 0, nil, fmt.Errorf("train: label %d out of range [0,%d)", label, c)
 		}
 		// Stable softmax: subtract the row max.
 		max := row[0]
@@ -53,7 +54,7 @@ func CrossEntropy(logits *tensor.Tensor, labels []int) (float32, *tensor.Tensor)
 		}
 		grow[label] -= invN
 	}
-	return float32(total / float64(n)), grad
+	return float32(total / float64(n)), grad, nil
 }
 
 // Accuracy returns the fraction of samples whose argmax logit matches the

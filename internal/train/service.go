@@ -102,11 +102,17 @@ func (s *ImageClassifierTrainService) Train(m nn.Module) (Stats, error) {
 		var epochLoss float64
 		for b := 0; b < batches; b++ {
 			t0 := time.Now()
-			batch := s.Loader.Batch(epoch, b)
+			batch, err := s.Loader.Batch(epoch, b)
+			if err != nil {
+				return Stats{}, err
+			}
 			t1 := time.Now()
 			logits := m.Forward(ctx, batch.X)
 			t2 := time.Now()
-			loss, grad := CrossEntropy(logits, batch.Labels)
+			loss, grad, err := CrossEntropy(logits, batch.Labels)
+			if err != nil {
+				return Stats{}, err
+			}
 			nn.ZeroGrads(m)
 			m.Backward(ctx, grad)
 			t3 := time.Now()

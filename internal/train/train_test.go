@@ -34,7 +34,10 @@ func testService(t *testing.T, ds *dataset.Dataset, det bool) *ImageClassifierTr
 func TestCrossEntropyKnownValues(t *testing.T) {
 	// Uniform logits over 4 classes: loss = ln(4).
 	logits := tensor.Zeros(2, 4)
-	loss, grad := CrossEntropy(logits, []int{0, 3})
+	loss, grad, err := CrossEntropy(logits, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(float64(loss)-math.Log(4)) > 1e-5 {
 		t.Fatalf("loss = %v, want ln(4)", loss)
 	}
@@ -59,14 +62,17 @@ func TestCrossEntropyGradientNumeric(t *testing.T) {
 	rng := tensor.NewRNG(3)
 	logits := tensor.Normal(rng, 0, 2, 3, 5)
 	labels := []int{1, 4, 0}
-	_, grad := CrossEntropy(logits, labels)
+	_, grad, err := CrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eps := float32(1e-2)
 	for i := 0; i < logits.Len(); i++ {
 		orig := logits.Data()[i]
 		logits.Data()[i] = orig + eps
-		up, _ := CrossEntropy(logits, labels)
+		up, _, _ := CrossEntropy(logits, labels)
 		logits.Data()[i] = orig - eps
-		down, _ := CrossEntropy(logits, labels)
+		down, _, _ := CrossEntropy(logits, labels)
 		logits.Data()[i] = orig
 		num := (up - down) / (2 * eps)
 		if d := math.Abs(float64(num - grad.Data()[i])); d > 1e-3 {
@@ -75,20 +81,18 @@ func TestCrossEntropyGradientNumeric(t *testing.T) {
 	}
 }
 
-func TestCrossEntropyPanics(t *testing.T) {
-	for _, tc := range []func(){
-		func() { CrossEntropy(tensor.Zeros(2, 3), []int{0}) },
-		func() { CrossEntropy(tensor.Zeros(2, 3), []int{0, 3}) },
-		func() { CrossEntropy(tensor.Zeros(6), []int{0}) },
+func TestCrossEntropyBadInputs(t *testing.T) {
+	for name, tc := range map[string]struct {
+		logits *tensor.Tensor
+		labels []int
+	}{
+		"label count mismatch": {tensor.Zeros(2, 3), []int{0}},
+		"label out of range":   {tensor.Zeros(2, 3), []int{0, 3}},
+		"non-2D logits":        {tensor.Zeros(6), []int{0}},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			tc()
-		}()
+		if _, _, err := CrossEntropy(tc.logits, tc.labels); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
 	}
 }
 
@@ -211,7 +215,10 @@ func TestDataLoaderBatching(t *testing.T) {
 	if loader.NumBatches() != 4 {
 		t.Fatalf("NumBatches = %d", loader.NumBatches())
 	}
-	b := loader.Batch(0, 0)
+	b, err := loader.Batch(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.X.Dim(0) != 8 || b.X.Dim(1) != 3 || b.X.Dim(2) != 8 {
 		t.Fatalf("batch shape %v", b.X.Shape())
 	}
@@ -226,17 +233,25 @@ func TestDataLoaderShuffleDeterministic(t *testing.T) {
 	cfg := LoaderConfig{BatchSize: 8, OutH: 8, OutW: 8, Shuffle: true, Seed: 5}
 	a, _ := NewDataLoader(ds, cfg)
 	b, _ := NewDataLoader(ds, cfg)
-	ba, bb := a.Batch(1, 2), b.Batch(1, 2)
+	mustBatch := func(l *DataLoader, epoch, idx int) Batch {
+		t.Helper()
+		bt, err := l.Batch(epoch, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bt
+	}
+	ba, bb := mustBatch(a, 1, 2), mustBatch(b, 1, 2)
 	if !ba.X.Equal(bb.X) {
 		t.Fatal("same seed loaders must produce identical batches")
 	}
 	// Different epochs give different orders.
-	if a.Batch(0, 0).X.Equal(a.Batch(1, 0).X) {
+	if mustBatch(a, 0, 0).X.Equal(mustBatch(a, 1, 0).X) {
 		t.Fatal("epochs should shuffle differently")
 	}
 	// Shuffled differs from sequential.
 	seq, _ := NewDataLoader(ds, LoaderConfig{BatchSize: 8, OutH: 8, OutW: 8, Shuffle: false})
-	if a.Batch(0, 0).X.Equal(seq.Batch(0, 0).X) {
+	if mustBatch(a, 0, 0).X.Equal(mustBatch(seq, 0, 0).X) {
 		t.Fatal("shuffle appears to be identity")
 	}
 }
@@ -244,12 +259,12 @@ func TestDataLoaderShuffleDeterministic(t *testing.T) {
 func TestDataLoaderBatchOutOfRange(t *testing.T) {
 	ds := testDataset(t)
 	loader, _ := NewDataLoader(ds, LoaderConfig{BatchSize: 8, OutH: 8, OutW: 8})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	loader.Batch(0, 99)
+	if _, err := loader.Batch(0, 99); err == nil {
+		t.Fatal("expected error for out-of-range batch")
+	}
+	if _, err := loader.Batch(0, -1); err == nil {
+		t.Fatal("expected error for negative batch")
+	}
 }
 
 func TestDeterministicTrainingIsReproducible(t *testing.T) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify gate. CI runs exactly this script; run it locally before
+# pushing. Every gate must pass:
+#   1. go build      — everything compiles
+#   2. go vet        — stock static analysis
+#   3. mmlint        — repo-specific invariants (determinism, durability,
+#                      panic discipline, goroutine plumbing); see cmd/mmlint
+#   4. go test       — unit and integration tests
+#   5. go test -race — the concurrency-heavy packages under the race detector
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/mmlint ./..."
+go run ./cmd/mmlint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/docdb ./internal/evalflow ./internal/train"
+go test -race ./internal/docdb ./internal/evalflow ./internal/train
+
+echo "verify: all gates green"
