@@ -9,10 +9,14 @@ package repro_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/docdb"
 	"repro/internal/experiments"
+	"repro/internal/filestore"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -70,6 +74,7 @@ func BenchmarkAblationChecksums(b *testing.B)     { benchExperiment(b, experimen
 func BenchmarkAblationDatasetRef(b *testing.B)    { benchExperiment(b, experiments.AblationDatasetRef) }
 func BenchmarkAblationAdaptive(b *testing.B)      { benchExperiment(b, experiments.AblationAdaptive) }
 func BenchmarkAblationBandwidth(b *testing.B)     { benchExperiment(b, experiments.AblationBandwidth) }
+func BenchmarkAblationWorkers(b *testing.B)       { benchExperiment(b, experiments.AblationWorkers) }
 
 // --- Substrate micro-benchmarks ---
 
@@ -121,6 +126,55 @@ func BenchmarkStateDictHash(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sd.Hash()
+	}
+}
+
+// BenchmarkStateDictHashWorkers sweeps the digest pool size; on multi-core
+// machines throughput scales with workers, and the hash is bit-identical at
+// every count (see internal/tensor/digest_test.go).
+func BenchmarkStateDictHashWorkers(b *testing.B) {
+	m, err := models.New(models.MobileNetV2Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := nn.StateDictOf(m)
+	prev := tensor.Workers()
+	defer tensor.SetWorkers(prev)
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			tensor.SetWorkers(w)
+			b.SetBytes(sd.SerializedSize())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sd.Hash()
+			}
+		})
+	}
+}
+
+// BenchmarkBASaveChecksumsResNet152 is the ISSUE's headline comparison: a
+// checksummed baseline save of a ResNet-152-sized state dict. Before the
+// fused pipeline this hashed every parameter byte three times (state hash,
+// layer-hash pass skipped for BA, blob content hash) plus the serialization
+// pass; now serialization, per-tensor digests, and the blob hash share one
+// pass.
+func BenchmarkBASaveChecksumsResNet152(b *testing.B) {
+	m, err := models.New(models.ResNet152Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := models.Spec{Arch: models.ResNet152Name, NumClasses: 1000}
+	files, err := filestore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := core.NewBaseline(core.Stores{Meta: docdb.NewMemStore(), Files: files})
+	b.SetBytes(nn.StateDictOf(m).SerializedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Save(core.SaveInfo{Spec: spec, Net: m, WithChecksums: true}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -17,21 +17,27 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list   = flag.Bool("list", false, "list experiment identifiers and exit")
-		paper  = flag.Bool("paper", false, "run at paper scale (full dataset sizes, 5-run medians, DIST-20)")
-		scale  = flag.Float64("scale", 0, "override dataset scale (1.0 = Table 1 sizes)")
-		runs   = flag.Int("runs", 0, "override repetitions for medians")
-		nodes  = flag.Int("nodes", 0, "override node count for distributed flows")
-		u3     = flag.Int("u3", 0, "override U3 iterations per phase for distributed flows")
-		archs  = flag.String("archs", "", "comma-separated architecture override (e.g. mobilenetv2,resnet152)")
-		outdir = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment identifiers and exit")
+		workers = flag.Int("workers", 0, "goroutines for parallel hashing and tensor reductions (0 = one per CPU; results are bit-identical for any value)")
+		paper   = flag.Bool("paper", false, "run at paper scale (full dataset sizes, 5-run medians, DIST-20)")
+		scale   = flag.Float64("scale", 0, "override dataset scale (1.0 = Table 1 sizes)")
+		runs    = flag.Int("runs", 0, "override repetitions for medians")
+		nodes   = flag.Int("nodes", 0, "override node count for distributed flows")
+		u3      = flag.Int("u3", 0, "override U3 iterations per phase for distributed flows")
+		archs   = flag.String("archs", "", "comma-separated architecture override (e.g. mobilenetv2,resnet152)")
+		outdir  = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		tensor.SetWorkers(*workers)
+	}
 
 	if *list {
 		for _, id := range experiments.Order() {

@@ -163,11 +163,19 @@ type modelDoc struct {
 	// CodeFileRef references the "model code" file (the serialized
 	// architecture spec).
 	CodeFileRef string `json:"code_file_ref,omitempty"`
+	// CodeFileHash is the content hash of the model code file, as reported
+	// by the file store while writing it.
+	CodeFileHash string `json:"code_file_hash,omitempty"`
 	// EnvDocID references the environment document.
 	EnvDocID string `json:"env_doc_id,omitempty"`
 	// ParamsFileRef references the serialized parameters: the full state
 	// dict for baseline saves, the parameter update for PUA saves.
 	ParamsFileRef string `json:"params_file_ref,omitempty"`
+	// ParamsFileHash is the content hash of the parameter file. The file
+	// store computes it while streaming the blob to disk, so recording it
+	// costs no extra pass; it lets integrity audits compare stored blobs
+	// against their documents without re-reading them at save time.
+	ParamsFileHash string `json:"params_file_hash,omitempty"`
 	// UpdatedLayers lists the layer paths contained in a parameter update.
 	UpdatedLayers []string `json:"updated_layers,omitempty"`
 	// HashDocID references the per-layer hash document (PUA).

@@ -3,9 +3,11 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"repro/internal/merkle"
+	"repro/internal/tensor"
 )
 
 // The regression tests in this file protect the representation invariant
@@ -189,6 +191,49 @@ func TestPUASaveIsByteDeterministic(t *testing.T) {
 	assertSameArtifacts(t, "pua update", runs[0].update, runs[1].update)
 	if !bytes.Equal(runs[0].changed, runs[1].changed) {
 		t.Errorf("changed-layer sets differ between identical saves: %s vs %s", runs[0].changed, runs[1].changed)
+	}
+}
+
+// TestSaveArtifactsIdenticalAcrossWorkerCounts re-runs both save paths under
+// worker counts {1, 2, 8} and requires every stored byte — documents, params,
+// code, and Merkle roots — to match the serial run. The parallel digest pool
+// assembles results in entry order, so concurrency must never leak into the
+// representation.
+func TestSaveArtifactsIdenticalAcrossWorkerCounts(t *testing.T) {
+	prev := tensor.Workers()
+	defer tensor.SetWorkers(prev)
+
+	type workerRun struct {
+		snapshot savedArtifacts
+		update   savedArtifacts
+	}
+	runFor := func(w int) workerRun {
+		tensor.SetWorkers(w)
+		stores := testStores(t)
+		pua := NewParamUpdate(stores)
+		ds := tinyDataset(t)
+		net := tinyNet(t, 9)
+
+		base, err := pua.Save(SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainDerived(t, net, ds)
+		derived, err := pua.Save(SaveInfo{Spec: tinySpec(), Net: net, BaseID: base.ID, WithChecksums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workerRun{
+			snapshot: captureArtifacts(t, stores, base.ID),
+			update:   captureArtifacts(t, stores, derived.ID),
+		}
+	}
+
+	serial := runFor(1)
+	for _, w := range []int{2, 8} {
+		parallel := runFor(w)
+		assertSameArtifacts(t, fmt.Sprintf("snapshot workers=%d", w), serial.snapshot, parallel.snapshot)
+		assertSameArtifacts(t, fmt.Sprintf("update workers=%d", w), serial.update, parallel.update)
 	}
 }
 

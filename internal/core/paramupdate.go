@@ -62,15 +62,21 @@ func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
 		return SaveResult{}, err
 	}
 
-	// Extract this model's layer hashes and find the changed layers.
+	// Extract this model's layer hashes and find the changed layers. The
+	// precomputed digest cache makes this the derived save's only hashing
+	// pass: LayerHashes, the state hash below, and the update subset all
+	// read the same per-tensor digests.
 	sd := nn.StateDictOf(info.Net)
+	sd.PrecomputeDigests()
 	curHashes := sd.LayerHashes()
 	changed, err := diffLayerHashes(baseHashes, curHashes, p.UseMerkle)
 	if err != nil {
 		return SaveResult{}, err
 	}
 
-	// The parameter update: only the changed layers' tensors.
+	// The parameter update: only the changed layers' tensors. The subset
+	// inherits the changed layers' digests, so serializing it below never
+	// re-hashes them.
 	update := sd.SubsetByLayers(changed)
 
 	doc := modelDoc{
@@ -97,12 +103,14 @@ func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
 	doc.EnvDocID = envID
 	res.MetaBytes += envSize
 
-	// Serialized parameter update.
-	paramsID, paramsSize, err := saveStateDict(p.stores.Files, update)
+	// Serialized parameter update (digests inherited above, so the fused
+	// writer degrades to a plain serialize).
+	paramsID, paramsSize, paramsHash, err := saveStateDict(p.stores.Files, update, true)
 	if err != nil {
 		return SaveResult{}, err
 	}
 	doc.ParamsFileRef = paramsID
+	doc.ParamsFileHash = paramsHash
 	res.FileBytes += paramsSize
 
 	// Layer hashes for this model, so the next derived save can diff

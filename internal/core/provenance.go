@@ -151,14 +151,17 @@ func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
 		res.FileBytes += dsSize
 	}
 
-	// Optimizer state file (the wrapper object's state).
+	// Optimizer state file (the wrapper object's state). The blob hash is
+	// recorded alongside the reference — the store computes it while
+	// writing, so it costs no extra read.
 	if len(rec.optState) > 0 {
-		stateID, stateSize, _, err := p.stores.Files.SaveBytes(rec.optState)
+		stateID, stateSize, stateHash, err := p.stores.Files.SaveBytes(rec.optState)
 		if err != nil {
 			return SaveResult{}, fmt.Errorf("core: saving optimizer state: %w", err)
 		}
 		w := svcDoc.Wrappers["optimizer"]
 		w.StateFileRef = stateID
+		w.StateFileHash = stateHash
 		svcDoc.Wrappers["optimizer"] = w
 		res.FileBytes += stateSize
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
@@ -89,6 +90,56 @@ func AblationChecksums(w io.Writer, o Opts) error {
 			return err
 		}
 		fmt.Fprintf(tw, "%v\t%s\t%s\t%s\n", withChecksums, ms(res.Duration), ms(rec.Timing.Total()), ms(rec.Timing.Verify))
+		cleanup()
+	}
+	return tw.Flush()
+}
+
+// AblationWorkers measures how the hashing worker pool size affects the
+// checksummed save/recover hot path (BA, ResNet-18): TTS for a save with
+// checksums and the verify share of a recovery with checksum verification.
+// Per-tensor digests are independent, so the state hash is bit-identical at
+// every worker count — only wall-clock changes. On a single-CPU host the
+// rows are expected to be flat; the figure documents exactness, and the
+// speedup appears wherever GOMAXPROCS > 1.
+func AblationWorkers(w io.Writer, o Opts) error {
+	header(w, "Ablation: parallel hashing workers (BA save/recover with checksums, ResNet-18)")
+	arch := models.ResNet18Name
+	prev := tensor.Workers()
+	defer tensor.SetWorkers(prev)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "WORKERS\tTTS\tTTR\tVERIFY SHARE")
+	var wantHash string
+	for _, nw := range []int{1, 2, 4, 8} {
+		tensor.SetWorkers(nw)
+		stores, cleanup, err := newLocalStores(o.WorkDir)
+		if err != nil {
+			return err
+		}
+		net, err := models.New(arch, 1000, 31)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		ba := core.NewBaseline(stores)
+		res, err := ba.Save(core.SaveInfo{Spec: models.Spec{Arch: arch, NumClasses: 1000}, Net: net, WithChecksums: true})
+		if err != nil {
+			cleanup()
+			return err
+		}
+		rec, err := ba.Recover(res.ID, core.RecoverOptions{VerifyChecksums: true})
+		if err != nil {
+			cleanup()
+			return err
+		}
+		got := nn.StateDictOf(rec.Net).Hash()
+		if wantHash == "" {
+			wantHash = got
+		} else if got != wantHash {
+			cleanup()
+			return fmt.Errorf("abl-workers: state hash changed with %d workers — parallel hashing must be exact", nw)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", nw, ms(res.Duration), ms(rec.Timing.Total()), ms(rec.Timing.Verify))
 		cleanup()
 	}
 	return tw.Flush()

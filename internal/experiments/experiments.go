@@ -155,6 +155,7 @@ func Registry() map[string]Func {
 		"abl-datasetref": AblationDatasetRef,
 		"abl-bandwidth":  AblationBandwidth,
 		"abl-adaptive":   AblationAdaptive,
+		"abl-workers":    AblationWorkers,
 	}
 }
 
@@ -164,7 +165,7 @@ func Order() []string {
 		"tab1", "tab2", "fig2", "fig4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"tab3", "fig14", "fig15",
-		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth",
+		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers",
 	}
 }
 

@@ -218,6 +218,7 @@ func TestAblations(t *testing.T) {
 		"datasetref": AblationDatasetRef,
 		"adaptive":   AblationAdaptive,
 		"bandwidth":  AblationBandwidth,
+		"workers":    AblationWorkers,
 	} {
 		var buf bytes.Buffer
 		if err := fn(&buf, o); err != nil {

@@ -21,6 +21,23 @@ import (
 // ErrNotFound is returned when a blob does not exist.
 var ErrNotFound = errors.New("filestore: not found")
 
+// copyBufPool recycles the 64 KB transfer buffers used when streaming blobs
+// to and from disk, so the save/recover hot path does not allocate one per
+// blob (io.Copy otherwise allocates a fresh buffer per call).
+var copyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 1<<16)
+		return &b
+	},
+}
+
+// copyPooled is io.Copy with a pooled transfer buffer.
+func copyPooled(dst io.Writer, src io.Reader) (int64, error) {
+	bufp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bufp)
+	return io.CopyBuffer(dst, src, *bufp)
+}
+
 // Store is a shared blob store. All methods are safe for concurrent use.
 type Store struct {
 	root string
@@ -94,7 +111,7 @@ func (s *Store) SaveAs(id string, r io.Reader) (int64, string, error) {
 		return 0, "", fmt.Errorf("filestore: creating blob: %w", err)
 	}
 	h := sha256.New()
-	n, err := io.Copy(io.MultiWriter(f, h), r)
+	n, err := copyPooled(io.MultiWriter(f, h), r)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -167,7 +184,7 @@ func (s *Store) Hash(id string) (string, error) {
 	}
 	defer rc.Close()
 	h := sha256.New()
-	if _, err := io.Copy(h, rc); err != nil {
+	if _, err := copyPooled(h, rc); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil

@@ -19,6 +19,15 @@ import (
 type StateDict struct {
 	entries []Entry
 	index   map[string]int
+	// digests caches the per-entry tensor content digests so that one
+	// hashing pass serves Hash, LayerHashes, and EntryHashes on the save
+	// hot path instead of each re-hashing every tensor. The cache is
+	// populated lazily (in parallel, via tensor.DigestAll) or as a side
+	// effect of WriteToWithDigests, and dropped by Set. Mutating a
+	// tensor's data directly does NOT invalidate it — treat a dict whose
+	// hashes were read as a frozen snapshot, which is exactly how the
+	// save paths use the dict of one save.
+	digests [][sha256.Size]byte
 }
 
 // Entry is one named tensor of a state dict.
@@ -48,14 +57,49 @@ func StateDictOf(m Module) *StateDict {
 	return sd
 }
 
-// Set appends (or replaces) the entry for key.
+// Set appends (or replaces) the entry for key and drops the digest cache.
 func (sd *StateDict) Set(key string, t *tensor.Tensor) {
+	sd.digests = nil
 	if i, ok := sd.index[key]; ok {
 		sd.entries[i].Tensor = t
 		return
 	}
 	sd.index[key] = len(sd.entries)
 	sd.entries = append(sd.entries, Entry{Key: key, Tensor: t})
+}
+
+// computeDigests hashes every entry tensor with one parallel pass. Results
+// are ordered by entry index, so they are bit-identical for any
+// tensor.Workers() setting.
+func (sd *StateDict) computeDigests() [][sha256.Size]byte {
+	ts := make([]*tensor.Tensor, len(sd.entries))
+	for i, e := range sd.entries {
+		ts[i] = e.Tensor
+	}
+	return tensor.DigestAll(ts)
+}
+
+// readDigests returns the cached per-entry digests, or computes them fresh
+// — without caching — when no cache exists. Not caching by default keeps
+// the long-standing contract that mutating a tensor's data is reflected by
+// the next Hash call; the save paths opt into the cache explicitly.
+func (sd *StateDict) readDigests() [][sha256.Size]byte {
+	if sd.digests != nil {
+		return sd.digests
+	}
+	return sd.computeDigests()
+}
+
+// PrecomputeDigests computes and caches the per-entry content digests with
+// one parallel pass over all tensor bytes. Afterwards Hash, LayerHashes,
+// EntryHashes, and WriteToWithDigests share the cache instead of each
+// re-hashing every tensor; Set drops the cache. The caller promises not to
+// mutate entry tensors for the cache's lifetime — the save paths hold that
+// promise trivially because each save hashes a freshly captured dict.
+func (sd *StateDict) PrecomputeDigests() {
+	if sd.digests == nil {
+		sd.digests = sd.computeDigests()
+	}
 }
 
 // Get returns the tensor for key.
@@ -154,21 +198,38 @@ type KeyHash struct {
 	Hash string `json:"hash"`
 }
 
-// EntryHashes returns the per-entry content hashes in order.
+// EntryHashes returns the per-entry content hashes in order. The digests
+// come from the shared per-dict cache, so calling EntryHashes, LayerHashes,
+// and Hash on the same dict costs one pass over tensor bytes in total.
 func (sd *StateDict) EntryHashes() []KeyHash {
+	digests := sd.readDigests()
 	out := make([]KeyHash, len(sd.entries))
 	for i, e := range sd.entries {
-		out[i] = KeyHash{Key: e.Key, Hash: e.Tensor.Hash()}
+		out[i] = KeyHash{Key: e.Key, Hash: hex.EncodeToString(digests[i][:])}
 	}
 	return out
+}
+
+// writeEntryHash feeds one "key=hexdigest;" record into h — the per-entry
+// byte layout both LayerHashes and Hash are built from. The hex encoding
+// goes through a caller-provided stack buffer instead of allocating a
+// string per entry.
+func writeEntryHash(h io.Writer, key string, digest *[sha256.Size]byte, hexBuf *[2 * sha256.Size]byte) {
+	io.WriteString(h, key)
+	io.WriteString(h, "=")
+	hex.Encode(hexBuf[:], digest[:])
+	h.Write(hexBuf[:])
+	io.WriteString(h, ";")
 }
 
 // LayerHashes returns one hash per layer (leaf module owning tensors), in
 // layer order, combining the hashes of all the layer's tensors. These are
 // the leaves of the parameter update approach's Merkle tree.
 func (sd *StateDict) LayerHashes() []KeyHash {
+	digests := sd.readDigests()
 	var out []KeyHash
 	var curLayer string
+	var hexBuf [2 * sha256.Size]byte
 	h := sha256.New()
 	started := false
 	flush := func() {
@@ -176,7 +237,7 @@ func (sd *StateDict) LayerHashes() []KeyHash {
 			out = append(out, KeyHash{Key: curLayer, Hash: hex.EncodeToString(h.Sum(nil))})
 		}
 	}
-	for _, e := range sd.entries {
+	for i, e := range sd.entries {
 		layer := LayerOf(e.Key)
 		if !started || layer != curLayer {
 			flush()
@@ -184,10 +245,7 @@ func (sd *StateDict) LayerHashes() []KeyHash {
 			curLayer = layer
 			started = true
 		}
-		io.WriteString(h, e.Key)
-		io.WriteString(h, "=")
-		io.WriteString(h, e.Tensor.Hash())
-		io.WriteString(h, ";")
+		writeEntryHash(h, e.Key, &digests[i], &hexBuf)
 	}
 	flush()
 	return out
@@ -195,12 +253,11 @@ func (sd *StateDict) LayerHashes() []KeyHash {
 
 // Hash returns a single content hash over the whole dict.
 func (sd *StateDict) Hash() string {
+	digests := sd.readDigests()
+	var hexBuf [2 * sha256.Size]byte
 	h := sha256.New()
-	for _, e := range sd.entries {
-		io.WriteString(h, e.Key)
-		io.WriteString(h, "=")
-		io.WriteString(h, e.Tensor.Hash())
-		io.WriteString(h, ";")
+	for i, e := range sd.entries {
+		writeEntryHash(h, e.Key, &digests[i], &hexBuf)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -247,10 +304,21 @@ func (sd *StateDict) SubsetByLayers(layers []string) *StateDict {
 		want[l] = true
 	}
 	out := NewStateDict()
-	for _, e := range sd.entries {
+	var digests [][sha256.Size]byte
+	for i, e := range sd.entries {
 		if want[LayerOf(e.Key)] {
 			out.Set(e.Key, e.Tensor)
+			if sd.digests != nil {
+				digests = append(digests, sd.digests[i])
+			}
 		}
+	}
+	// The subset shares sd's tensors, so already-computed digests carry
+	// over — a PUA save that diffed layer hashes never re-digests the
+	// changed layers it serializes. Assigned after the Set loop because
+	// Set drops the cache.
+	if sd.digests != nil {
+		out.digests = digests
 	}
 	return out
 }
@@ -321,6 +389,63 @@ func (sd *StateDict) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return n, bw.Flush()
+}
+
+// WriteToWithDigests serializes the dict like WriteTo while computing the
+// per-entry digest cache from the same staged bytes, so a checksummed save
+// makes exactly one pass over all parameter bytes: serialize → tee into the
+// per-tensor digests here and the stream hash the file store computes while
+// writing. When the cache is already populated (e.g. a PUA save that diffed
+// layer hashes first), this degrades to a plain WriteTo — each tensor is
+// digested at most once per save either way.
+func (sd *StateDict) WriteToWithDigests(w io.Writer) (int64, error) {
+	if sd.digests != nil {
+		return sd.WriteTo(w)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], sdMagic)
+	binary.LittleEndian.PutUint16(b8[4:6], sdVersion)
+	m, err := bw.Write(b8[:6])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(sd.entries)))
+	m, err = bw.Write(b8[:4])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	digests := make([][sha256.Size]byte, len(sd.entries))
+	for i, e := range sd.entries {
+		if len(e.Key) > 0xffff {
+			return n, fmt.Errorf("nn: key %q too long", e.Key)
+		}
+		binary.LittleEndian.PutUint16(b8[:2], uint16(len(e.Key)))
+		m, err = bw.Write(b8[:2])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		m, err = io.WriteString(bw, e.Key)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		nt, d, err := e.Tensor.WriteToWithDigest(bw)
+		n += nt
+		if err != nil {
+			return n, err
+		}
+		digests[i] = d
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	sd.digests = digests
+	return n, nil
 }
 
 // SerializedSize returns the exact byte size WriteTo will produce.

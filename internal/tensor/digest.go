@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Content hashing is on the save/recover hot path: every checksummed save
+// and every verified recovery digests all parameter bytes. This file keeps
+// that pass cheap (pooled staging buffers, raw digests without hex round
+// trips), single (a fused serialize+digest writer), and parallel (a bounded
+// worker pool over independent per-tensor digests).
+
+// chunkElems is the number of float32 values converted per staging-buffer
+// fill during serialization and hashing.
+const chunkElems = 4096
+
+// stagingPool recycles the 16 KB float32→little-endian staging buffers used
+// by Hash, Digest, WriteTo, and ReadFrom, instead of allocating one per call.
+var stagingPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 4*chunkElems)
+		return &b
+	},
+}
+
+// digestOps counts per-tensor digest computations process-wide. It exists so
+// tests can assert the single-pass save invariant: one save computes each
+// tensor's digest exactly once, no matter how many consumers (state hash,
+// layer hashes, Merkle leaves) need it.
+var digestOps atomic.Uint64
+
+// DigestOps returns the number of per-tensor digest computations performed
+// so far by this process. Instrumentation for tests and benchmarks.
+func DigestOps() uint64 { return digestOps.Load() }
+
+// digestShapeInto feeds the digest preamble — rank then dims, little
+// endian — into h. The preamble is part of the hashed content so tensors
+// with equal data but different shapes hash differently.
+func (t *Tensor) digestShapeInto(h hash.Hash) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(t.shape)))
+	h.Write(b[:])
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(b[:], uint32(d))
+		h.Write(b[:])
+	}
+}
+
+// Digest returns the raw SHA-256 digest of the tensor's shape and IEEE-754
+// data — the binary form of Hash. Prefer Digest where the hex encoding is
+// not needed (caches, worker pools, Merkle assembly).
+func (t *Tensor) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	t.digestShapeInto(h)
+	bufp := stagingPool.Get().(*[]byte)
+	buf := *bufp
+	for off := 0; off < len(t.data); off += chunkElems {
+		end := off + chunkElems
+		if end > len(t.data) {
+			end = len(t.data)
+		}
+		chunk := t.data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		h.Write(buf[:len(chunk)*4])
+	}
+	stagingPool.Put(bufp)
+	digestOps.Add(1)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// WriteToWithDigest serializes t to w in the binary tensor format while
+// feeding the same little-endian data bytes into a SHA-256 state, so one
+// pass over the tensor's data yields both the serialized stream and the
+// tensor's content digest (identical to Digest). Unlike WriteTo, w is not
+// wrapped in a bufio.Writer; callers stream many tensors and supply their
+// own buffered writer.
+func (t *Tensor) WriteToWithDigest(w io.Writer) (int64, [sha256.Size]byte, error) {
+	var d [sha256.Size]byte
+	h := sha256.New()
+	t.digestShapeInto(h)
+
+	var n int64
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], formatVersion)
+	if len(t.shape) > math.MaxUint16 {
+		return n, d, fmt.Errorf("tensor: rank %d too large to serialize", len(t.shape))
+	}
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(t.shape)))
+	m, err := w.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, d, err
+	}
+	var dim [4]byte
+	for _, s := range t.shape {
+		if s > math.MaxUint32 {
+			return n, d, fmt.Errorf("tensor: dimension %d too large to serialize", s)
+		}
+		binary.LittleEndian.PutUint32(dim[:], uint32(s))
+		m, err = w.Write(dim[:])
+		n += int64(m)
+		if err != nil {
+			return n, d, err
+		}
+	}
+
+	bufp := stagingPool.Get().(*[]byte)
+	defer stagingPool.Put(bufp)
+	buf := *bufp
+	for off := 0; off < len(t.data); off += chunkElems {
+		end := off + chunkElems
+		if end > len(t.data) {
+			end = len(t.data)
+		}
+		chunk := t.data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		raw := buf[:len(chunk)*4]
+		h.Write(raw)
+		m, err = w.Write(raw)
+		n += int64(m)
+		if err != nil {
+			return n, d, err
+		}
+	}
+	digestOps.Add(1)
+	h.Sum(d[:0])
+	return n, d, nil
+}
+
+// DigestAll computes the content digests of ts with up to Workers()
+// goroutines. Each digest is independent, so out[i] is bit-identical to
+// ts[i].Digest() for any worker count — parallelism changes wall-clock
+// time, never bytes. Workers claim tensors one at a time off a shared
+// counter, which load-balances the highly skewed tensor sizes of real
+// architectures better than static chunking.
+func DigestAll(ts []*Tensor) [][sha256.Size]byte {
+	out := make([][sha256.Size]byte, len(ts))
+	w := workers
+	if w > len(ts) {
+		w = len(ts)
+	}
+	if w <= 1 {
+		for i, t := range ts {
+			out[i] = t.Digest()
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ts) {
+					return
+				}
+				out[i] = ts[i].Digest()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

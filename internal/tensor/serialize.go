@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"bufio"
-	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
@@ -65,9 +64,11 @@ func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
-	buf := make([]byte, 4*4096)
-	for off := 0; off < len(t.data); off += 4096 {
-		end := off + 4096
+	bufp := stagingPool.Get().(*[]byte)
+	defer stagingPool.Put(bufp)
+	buf := *bufp
+	for off := 0; off < len(t.data); off += chunkElems {
+		end := off + chunkElems
 		if end > len(t.data) {
 			end = len(t.data)
 		}
@@ -108,9 +109,11 @@ func ReadFrom(r io.Reader) (*Tensor, error) {
 	}
 	n := Prod(shape)
 	t := Zeros(shape...)
-	buf := make([]byte, 4*4096)
-	for off := 0; off < n; off += 4096 {
-		end := off + 4096
+	bufp := stagingPool.Get().(*[]byte)
+	defer stagingPool.Put(bufp)
+	buf := *bufp
+	for off := 0; off < n; off += chunkElems {
+		end := off + chunkElems
 		if end > n {
 			end = n
 		}
@@ -133,27 +136,9 @@ func (t *Tensor) SerializedSize() int64 {
 // Hash returns the hex-encoded SHA-256 digest of the tensor's shape and raw
 // IEEE-754 data. Equal tensors hash equally on every platform; this is the
 // per-layer checksum the parameter update approach stores in its Merkle tree
-// and the baseline stores for recovery verification.
+// and the baseline stores for recovery verification. Hash is the hex form of
+// Digest; hot paths that hash many tensors use Digest/DigestAll directly.
 func (t *Tensor) Hash() string {
-	h := sha256.New()
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(len(t.shape)))
-	h.Write(b[:])
-	for _, d := range t.shape {
-		binary.LittleEndian.PutUint32(b[:], uint32(d))
-		h.Write(b[:])
-	}
-	buf := make([]byte, 4*4096)
-	for off := 0; off < len(t.data); off += 4096 {
-		end := off + 4096
-		if end > len(t.data) {
-			end = len(t.data)
-		}
-		chunk := t.data[off:end]
-		for i, v := range chunk {
-			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
-		}
-		h.Write(buf[:len(chunk)*4])
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	d := t.Digest()
+	return hex.EncodeToString(d[:])
 }

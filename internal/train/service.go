@@ -145,6 +145,9 @@ type WrapperDoc struct {
 	// StateFileRef references the state file in the file store; empty for
 	// stateless objects. The reference is filled in by the save service.
 	StateFileRef string `json:"state_file_ref,omitempty"`
+	// StateFileHash is the content hash of the state file, recorded by the
+	// save service from the hash the file store computes while writing.
+	StateFileHash string `json:"state_file_hash,omitempty"`
 	// StateInline embeds small internal state directly in the document
 	// instead of a separate state file (an optimization for states of a
 	// few bytes, like a scheduler's epoch counter).

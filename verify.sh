@@ -7,6 +7,8 @@
 #                      panic discipline, goroutine plumbing); see cmd/mmlint
 #   4. go test       — unit and integration tests
 #   5. go test -race — the concurrency-heavy packages under the race detector
+#   6. bench smoke   — the hot-path benchmarks run once, so a broken
+#                      benchmark cannot reach main unnoticed
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,7 +24,10 @@ go run ./cmd/mmlint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/docdb ./internal/evalflow ./internal/train"
-go test -race ./internal/docdb ./internal/evalflow ./internal/train
+echo "==> go test -race ./internal/docdb ./internal/evalflow ./internal/train ./internal/tensor ./internal/nn"
+go test -race ./internal/docdb ./internal/evalflow ./internal/train ./internal/tensor ./internal/nn
+
+echo "==> go test -bench smoke (hot-path benchmarks, one iteration)"
+go test -run '^$' -bench 'BenchmarkStateDictHashWorkers|BenchmarkStateDictSerialize$' -benchtime 1x .
 
 echo "verify: all gates green"
