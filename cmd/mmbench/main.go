@@ -32,6 +32,8 @@ func main() {
 		u3      = flag.Int("u3", 0, "override U3 iterations per phase for distributed flows")
 		archs   = flag.String("archs", "", "comma-separated architecture override (e.g. mobilenetv2,resnet152)")
 		outdir  = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
+		frate   = flag.Float64("fault-rate", 0, "per-operation fault probability injected into distributed-flow metadata connections (0 = healthy network)")
+		fseed   = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule (same seed = same faults)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,8 @@ func main() {
 		opts.Archs = strings.Split(*archs, ",")
 	}
 	opts.WorkDir = *outdir
+	opts.FaultRate = *frate
+	opts.FaultSeed = *fseed
 
 	reg := experiments.Registry()
 	var ids []string

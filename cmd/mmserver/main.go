@@ -14,17 +14,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/docdb"
+	"repro/internal/faultnet"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7070", "listen address")
-		data = flag.String("data", "", "persistence directory (empty = in-memory)")
+		addr  = flag.String("addr", "127.0.0.1:7070", "listen address")
+		data  = flag.String("data", "", "persistence directory (empty = in-memory)")
+		frate = flag.Float64("fault-rate", 0, "chaos testing: inject connection faults (drops, torn frames, delays) into every accepted connection at this per-operation probability")
+		fseed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 	)
 	flag.Parse()
 
@@ -38,10 +42,18 @@ func main() {
 		}
 		backend = disk
 	}
-	srv, err := docdb.NewServer(backend, *addr)
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("mmserver: %v", err)
 	}
+	if *frate > 0 {
+		// Chaos mode: every accepted connection misbehaves on a seeded
+		// schedule, so client fault tolerance can be exercised against a
+		// real deployment.
+		ln = faultnet.WrapListener(ln, faultnet.Config{Seed: *fseed, Rate: *frate})
+		fmt.Printf("mmserver: injecting faults at rate %.3f (seed %d)\n", *frate, *fseed)
+	}
+	srv := docdb.NewServerOn(backend, ln)
 	fmt.Printf("mmserver listening on %s (persistence: %s)\n", srv.Addr(), orMem(*data))
 
 	sig := make(chan os.Signal, 1)

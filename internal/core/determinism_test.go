@@ -20,20 +20,21 @@ import (
 // analyzer in cmd/mmlint guards the code paths; these tests guard the
 // observable output.
 
-// savedArtifacts is everything one save run persisted, with the randomly
-// generated document/blob identifiers replaced by stable placeholders so
-// runs can be compared byte-for-byte.
+// savedArtifacts is a captured save (core.CaptureArtifacts) plus the
+// Merkle root over its stored layer hashes.
 type savedArtifacts struct {
-	root   []byte // normalized root model document, marshaled
-	env    []byte // environment document, marshaled
-	hashes []byte // per-layer hash document, marshaled
-	params []byte // serialized state dict (full or update)
-	code   []byte // serialized architecture spec
+	Artifacts
 	merkle string // Merkle root over the stored layer hashes
 }
 
 func captureArtifacts(t *testing.T, stores Stores, id string) savedArtifacts {
 	t.Helper()
+	art, err := CaptureArtifacts(stores, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := savedArtifacts{Artifacts: art}
+
 	raw, err := stores.Meta.Get(ColModels, id)
 	if err != nil {
 		t.Fatal(err)
@@ -42,31 +43,7 @@ func captureArtifacts(t *testing.T, stores Stores, id string) savedArtifacts {
 	if err := mapToDoc(raw, &doc); err != nil {
 		t.Fatal(err)
 	}
-
-	var art savedArtifacts
-	if doc.ParamsFileRef != "" {
-		if art.params, err = stores.Files.ReadAll(doc.ParamsFileRef); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if doc.CodeFileRef != "" {
-		if art.code, err = stores.Files.ReadAll(doc.CodeFileRef); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if doc.EnvDocID != "" {
-		envRaw, err := stores.Meta.Get(ColEnvironments, doc.EnvDocID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		art.env = mustMarshal(t, envRaw)
-	}
 	if doc.HashDocID != "" {
-		hashRaw, err := stores.Meta.Get(ColLayerHashes, doc.HashDocID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		art.hashes = mustMarshal(t, hashRaw)
 		layerHashes, err := loadLayerHashes(stores.Meta, doc.HashDocID)
 		if err != nil {
 			t.Fatal(err)
@@ -75,31 +52,9 @@ func captureArtifacts(t *testing.T, stores Stores, id string) savedArtifacts {
 		if err != nil {
 			t.Fatal(err)
 		}
-		art.merkle = tree.Root()
+		sa.merkle = tree.Root()
 	}
-
-	// The cross-document references are random identifiers by design;
-	// neutralize them so everything else must match exactly.
-	if doc.BaseID != "" {
-		doc.BaseID = "<base>"
-	}
-	if doc.CodeFileRef != "" {
-		doc.CodeFileRef = "<code>"
-	}
-	if doc.EnvDocID != "" {
-		doc.EnvDocID = "<env>"
-	}
-	if doc.ParamsFileRef != "" {
-		doc.ParamsFileRef = "<params>"
-	}
-	if doc.HashDocID != "" {
-		doc.HashDocID = "<hashes>"
-	}
-	if doc.ServiceDocID != "" {
-		doc.ServiceDocID = "<service>"
-	}
-	art.root = mustMarshal(t, doc)
-	return art
+	return sa
 }
 
 // mustMarshal renders v as JSON; encoding/json sorts map keys, so equal
@@ -121,11 +76,11 @@ func assertSameArtifacts(t *testing.T, label string, a, b savedArtifacts) {
 			t.Errorf("%s: stored %s differ between identical saves:\nrun 1: %s\nrun 2: %s", label, field, x, y)
 		}
 	}
-	check("root document", a.root, b.root)
-	check("environment document", a.env, b.env)
-	check("layer-hash document", a.hashes, b.hashes)
-	check("parameter bytes", a.params, b.params)
-	check("model-code bytes", a.code, b.code)
+	check("root document", a.Root, b.Root)
+	check("environment document", a.Env, b.Env)
+	check("layer-hash document", a.LayerHashes, b.LayerHashes)
+	check("parameter bytes", a.Params, b.Params)
+	check("model-code bytes", a.Code, b.Code)
 	if a.merkle != b.merkle {
 		t.Errorf("%s: Merkle roots differ between identical saves: %s vs %s", label, a.merkle, b.merkle)
 	}
@@ -253,10 +208,10 @@ func TestBaselineAndPUASnapshotsAgree(t *testing.T) {
 	}
 	ba := captureArtifacts(t, baStores, baRes.ID)
 	pua := captureArtifacts(t, puaStores, puaRes.ID)
-	if !bytes.Equal(ba.params, pua.params) {
+	if !bytes.Equal(ba.Params, pua.Params) {
 		t.Error("BA and PUA store different parameter bytes for the same model")
 	}
-	if !bytes.Equal(ba.code, pua.code) {
+	if !bytes.Equal(ba.Code, pua.Code) {
 		t.Error("BA and PUA store different model-code bytes for the same model")
 	}
 }

@@ -5,34 +5,115 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// ClientOptions tune the network client's fault-tolerance behavior. The
+// zero value selects the defaults documented on each field.
+type ClientOptions struct {
+	// OpTimeout is the deadline applied to each request/response round
+	// trip on the wire (default 10s). A stalled link fails the attempt
+	// instead of hanging the caller forever.
+	OpTimeout time.Duration
+	// MaxRetries is how many additional attempts follow a failed attempt
+	// of a retryable operation (default 4). Every retry reconnects: a
+	// connection that saw a frame error is poisoned and never reused.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry (default 20ms);
+	// subsequent retries double it up to MaxBackoff.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 500ms).
+	MaxBackoff time.Duration
+	// Dialer overrides how connections are established (default
+	// net.Dial("tcp", addr)). Tests use it to inject faulty links.
+	Dialer func(addr string) (net.Conn, error)
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.OpTimeout == 0 {
+		o.OpTimeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 20 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 500 * time.Millisecond
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return o
+}
 
 // Client is a Store implementation that talks to a Server over TCP. A single
 // connection is shared and serialized; the save/recover protocol of the
 // paper issues metadata operations sequentially per node, so one connection
 // per actor is the natural shape.
+//
+// The client assumes the link is allowed to fail. Any frame error poisons
+// the current connection — it is closed immediately and never reused, so a
+// late response to a failed request can never be paired with the next
+// request. Retryable operations then reconnect and retry with exponential
+// backoff: get/find/ids/stats/ping/put/delete are idempotent and retry
+// freely; insert carries a client-generated request identifier that the
+// server dedupes, so a retried insert returns the original document
+// identifier instead of creating a duplicate.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	addr string
+	mu     sync.Mutex
+	conn   net.Conn
+	addr   string
+	opts   ClientOptions
+	closed bool
 }
 
-// Dial connects to a docdb server at addr.
+// Dial connects to a docdb server at addr with default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions connects to a docdb server at addr with explicit
+// fault-tolerance options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := opts.Dialer(addr)
 	if err != nil {
 		return nil, fmt.Errorf("docdb: dialing %s: %w", addr, err)
 	}
-	return &Client{conn: conn, addr: addr}, nil
+	return &Client{conn: conn, addr: addr, opts: opts}, nil
 }
 
 var _ Store = (*Client)(nil)
 
-func (c *Client) roundTrip(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return response{}, errors.New("docdb: client closed")
+// retryable reports whether req may be re-sent after a frame error without
+// risking a duplicated effect. Reads and full-document overwrites are
+// idempotent by construction; an insert is safe only when it carries a
+// request identifier the server can dedupe on.
+func retryable(req request) bool {
+	if req.Op == "insert" {
+		return req.ReqID != ""
+	}
+	return true
+}
+
+// poison closes the current connection after a frame error so it can never
+// serve another request. Callers must hold c.mu.
+func (c *Client) poison() {
+	if c.conn != nil {
+		//mmlint:ignore closecheck the connection is being discarded after a frame error; that frame error, not the close result, is what the caller reports
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// attempt performs one request/response exchange on the live connection
+// under the per-op deadline. Callers must hold c.mu and have ensured
+// c.conn is non-nil.
+func (c *Client) attempt(req request) (response, error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout)); err != nil {
+		return response{}, fmt.Errorf("docdb: arming deadline: %w", err)
 	}
 	if err := writeFrame(c.conn, req); err != nil {
 		return response{}, fmt.Errorf("docdb: sending request: %w", err)
@@ -41,18 +122,62 @@ func (c *Client) roundTrip(req request) (response, error) {
 	if err := readFrame(c.conn, &resp); err != nil {
 		return response{}, fmt.Errorf("docdb: reading response: %w", err)
 	}
-	if !resp.OK {
-		if resp.Error == ErrNotFound.Error() {
-			return response{}, ErrNotFound
-		}
-		return response{}, errors.New(resp.Error)
-	}
 	return resp, nil
 }
 
-// Insert implements Store.
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return response{}, errors.New("docdb: client closed")
+	}
+	var lastErr error
+	for att := 0; att <= c.opts.MaxRetries; att++ {
+		if att > 0 {
+			backoff := c.opts.MaxBackoff
+			if shift := att - 1; shift < 16 && c.opts.RetryBackoff<<shift < backoff {
+				backoff = c.opts.RetryBackoff << shift
+			}
+			time.Sleep(backoff)
+		}
+		if c.conn == nil {
+			conn, err := c.opts.Dialer(c.addr)
+			if err != nil {
+				lastErr = fmt.Errorf("docdb: reconnecting to %s: %w", c.addr, err)
+				if !retryable(req) {
+					break
+				}
+				continue
+			}
+			c.conn = conn
+		}
+		resp, err := c.attempt(req)
+		if err != nil {
+			c.poison()
+			lastErr = err
+			if !retryable(req) {
+				break
+			}
+			continue
+		}
+		// The exchange completed; an application-level failure travels in
+		// the response and must not be retried — the server already gave
+		// its answer.
+		if !resp.OK {
+			if resp.Error == ErrNotFound.Error() {
+				return response{}, ErrNotFound
+			}
+			return response{}, errors.New(resp.Error)
+		}
+		return resp, nil
+	}
+	return response{}, fmt.Errorf("docdb: %s failed after %d attempts: %w", req.Op, c.opts.MaxRetries+1, lastErr)
+}
+
+// Insert implements Store. Every insert carries a fresh request identifier
+// so the server can dedupe retries of the same logical insert.
 func (c *Client) Insert(collection string, doc Document) (string, error) {
-	resp, err := c.roundTrip(request{Op: "insert", Collection: collection, Doc: doc})
+	resp, err := c.roundTrip(request{Op: "insert", Collection: collection, Doc: doc, ReqID: NewID()})
 	if err != nil {
 		return "", err
 	}
@@ -120,6 +245,10 @@ func (c *Client) Ping() error {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}

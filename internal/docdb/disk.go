@@ -67,11 +67,28 @@ func (s *DiskStore) Put(collection, id string, doc Document) error {
 	if err != nil {
 		return fmt.Errorf("docdb: marshaling document: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return fmt.Errorf("docdb: writing document: %w", err)
+	// Stage in a uniquely named temp file and fsync before the rename:
+	// the renamed-in document must never be observable with truncated
+	// content after a crash, and concurrent writers (two stores on one
+	// directory) must never interleave into a shared temp file.
+	f, err := os.CreateTemp(filepath.Dir(path), id+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("docdb: staging document: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(b)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("docdb: writing document: %w", werr)
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("docdb: committing document: %w", err)
 	}
 	return nil
@@ -136,7 +153,8 @@ func (s *DiskStore) Find(collection string, eq Document) ([]Document, error) {
 	return out, nil
 }
 
-// IDs implements Store.
+// IDs implements Store. os.ReadDir sorts entries by name, so identifiers
+// come back in the lexicographic order the Store contract requires.
 func (s *DiskStore) IDs(collection string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

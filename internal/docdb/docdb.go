@@ -35,10 +35,13 @@ type Store interface {
 	// missing document returns ErrNotFound.
 	Delete(collection, id string) error
 	// Find returns all documents in the collection whose fields match every
-	// key/value pair in eq. A nil or empty eq matches every document.
+	// key/value pair in eq, in lexicographic identifier order. A nil or
+	// empty eq matches every document.
 	Find(collection string, eq Document) ([]Document, error)
 	// IDs returns the identifiers of all documents in the collection in
-	// unspecified order.
+	// lexicographic order. Every engine must agree on this ordering so
+	// code observing result order behaves identically against the memory
+	// engine, the disk engine, and the network client.
 	IDs(collection string) ([]string, error)
 	// Stats returns storage statistics for the whole store.
 	Stats() (Stats, error)

@@ -319,6 +319,65 @@ func TestClientAfterClose(t *testing.T) {
 	}
 }
 
+// TestEnginesAgreeOnOrdering puts the same documents into every engine —
+// memory, disk, and the network client — and requires IDs and Find to
+// return them in the same (lexicographic) order. The memory engine used to
+// leak Go's randomized map iteration order while the disk engine returned
+// directory order; any code observing result order behaved differently
+// depending on which engine backed it.
+func TestEnginesAgreeOnOrdering(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	mem := NewMemStore()
+	defer mem.Close()
+	srv, err := NewServer(NewMemStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	engines := map[string]Store{"mem": mem, "disk": disk, "client": client}
+	// Insert under fixed identifiers in a deliberately non-sorted order.
+	ids := []string{"m9", "a1", "z5", "k3", "b2", "q7", "c4"}
+	for _, s := range engines {
+		for i, id := range ids {
+			if err := s.Put("models", id, Document{"id": id, "seq": i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	wantIDs := []string{"a1", "b2", "c4", "k3", "m9", "q7", "z5"}
+	for name, s := range engines {
+		got, err := s.IDs("models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(wantIDs) {
+			t.Fatalf("%s: IDs = %v, want %v", name, got, wantIDs)
+		}
+		docs, err := s.Find("models", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []string
+		for _, d := range docs {
+			order = append(order, fmt.Sprint(d["id"]))
+		}
+		if fmt.Sprint(order) != fmt.Sprint(wantIDs) {
+			t.Fatalf("%s: Find order = %v, want %v", name, order, wantIDs)
+		}
+	}
+}
+
 func TestNewIDUnique(t *testing.T) {
 	seen := make(map[string]bool)
 	for i := 0; i < 1000; i++ {

@@ -2,6 +2,7 @@ package docdb
 
 import (
 	"encoding/json"
+	"sort"
 	"sync"
 )
 
@@ -68,30 +69,39 @@ func (s *MemStore) Delete(collection, id string) error {
 	return nil
 }
 
-// Find implements Store.
+// Find implements Store. Results come back in lexicographic identifier
+// order — the same order the disk engine's directory listing produces — so
+// switching engines never changes observable result ordering.
 func (s *MemStore) Find(collection string, eq Document) ([]Document, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	col := s.collections[collection]
+	ids := sortedKeys(col)
 	var out []Document
-	for _, doc := range col {
-		if matches(doc, eq) {
+	for _, id := range ids {
+		if doc := col[id]; matches(doc, eq) {
 			out = append(out, clone(doc))
 		}
 	}
 	return out, nil
 }
 
-// IDs implements Store.
+// IDs implements Store. Identifiers are returned in lexicographic order to
+// match the disk engine.
 func (s *MemStore) IDs(collection string) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	col := s.collections[collection]
+	return sortedKeys(s.collections[collection]), nil
+}
+
+// sortedKeys returns the map's keys in lexicographic order.
+func sortedKeys(col map[string]Document) []string {
 	ids := make([]string, 0, len(col))
 	for id := range col {
 		ids = append(ids, id)
 	}
-	return ids, nil
+	sort.Strings(ids)
+	return ids
 }
 
 // Stats implements Store.

@@ -8,11 +8,56 @@ import (
 	"sync"
 )
 
+// dedupLimit bounds how many insert responses the server remembers for
+// retry deduplication. Retries arrive within a client's bounded backoff
+// window, so only recent history matters; FIFO eviction keeps memory flat.
+const dedupLimit = 4096
+
+// insertDedup replays the original response for a retried insert. The
+// client generates a request identifier per logical insert; a retry after
+// a torn response frame re-sends the same identifier, and the server must
+// answer with the already-created document's identifier instead of
+// inserting again.
+type insertDedup struct {
+	mu    sync.Mutex
+	resp  map[string]response
+	order []string // FIFO eviction queue
+}
+
+func newInsertDedup() *insertDedup {
+	return &insertDedup{resp: make(map[string]response)}
+}
+
+// lookup returns the remembered response for reqID, if any.
+func (d *insertDedup) lookup(reqID string) (response, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.resp[reqID]
+	return r, ok
+}
+
+// remember records the response served for reqID, evicting the oldest
+// entry beyond the capacity bound.
+func (d *insertDedup) remember(reqID string, r response) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.resp[reqID]; ok {
+		return
+	}
+	d.resp[reqID] = r
+	d.order = append(d.order, reqID)
+	if len(d.order) > dedupLimit {
+		delete(d.resp, d.order[0])
+		d.order = d.order[1:]
+	}
+}
+
 // Server exposes a Store over TCP using the docdb wire protocol. It plays
 // the role of the dedicated MongoDB machine in the paper's evaluation setup.
 type Server struct {
 	backend Store
 	ln      net.Listener
+	dedup   *insertDedup
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -27,10 +72,18 @@ func NewServer(backend Store, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	return NewServerOn(backend, ln), nil
+}
+
+// NewServerOn creates a server backed by the given store serving on an
+// existing listener. It lets callers interpose on the transport — the
+// fault-injection harness wraps the listener so every accepted connection
+// misbehaves on a deterministic schedule.
+func NewServerOn(backend Store, ln net.Listener) *Server {
+	s := &Server{backend: backend, ln: ln, dedup: newInsertDedup(), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the address the server is listening on.
@@ -85,11 +138,20 @@ func (s *Server) handle(req request) response {
 	fail := func(err error) response { return response{Error: err.Error()} }
 	switch req.Op {
 	case "insert":
+		if req.ReqID != "" {
+			if resp, ok := s.dedup.lookup(req.ReqID); ok {
+				return resp
+			}
+		}
 		id, err := s.backend.Insert(req.Collection, req.Doc)
 		if err != nil {
 			return fail(err)
 		}
-		return response{OK: true, ID: id}
+		resp := response{OK: true, ID: id}
+		if req.ReqID != "" {
+			s.dedup.remember(req.ReqID, resp)
+		}
+		return resp
 	case "put":
 		if err := s.backend.Put(req.Collection, req.ID, req.Doc); err != nil {
 			return fail(err)

@@ -23,6 +23,12 @@ type request struct {
 	ID         string   `json:"id,omitempty"`
 	Doc        Document `json:"doc,omitempty"`
 	Filter     Document `json:"filter,omitempty"`
+	// ReqID is a client-generated identifier carried by non-idempotent
+	// operations (insert). The server remembers recently seen ReqIDs and
+	// replays the original response for a retried request instead of
+	// executing it again, so a retry after a torn response frame cannot
+	// create a duplicate document.
+	ReqID string `json:"req_id,omitempty"`
 }
 
 type response struct {
@@ -35,6 +41,12 @@ type response struct {
 	Stats *Stats     `json:"stats,omitempty"`
 }
 
+// writeFrame sends v as one frame through a single Write call. Coalescing
+// the header and body matters for failure atomicity: with two writes, a
+// fault between them leaves the peer holding a header whose body never
+// arrives, and the peer then misreads the *next* frame's bytes as that
+// body. One write either delivers a parseable prefix-consistent frame or
+// fails before anything usable is on the wire.
 func writeFrame(w io.Writer, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -43,12 +55,10 @@ func writeFrame(w io.Writer, v any) error {
 	if len(b) > maxFrame {
 		return fmt.Errorf("docdb: frame of %d bytes exceeds limit", len(b))
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(b)
+	msg := make([]byte, 4+len(b))
+	binary.LittleEndian.PutUint32(msg[:4], uint32(len(b)))
+	copy(msg[4:], b)
+	_, err = w.Write(msg)
 	return err
 }
 

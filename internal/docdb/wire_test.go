@@ -22,6 +22,51 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// countingWriter records how many Write calls a frame takes. The framing
+// layer must coalesce header and body into ONE write so a fault can never
+// land a header whose body was lost.
+type countingWriter struct {
+	bytes.Buffer
+	calls int
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	w.calls++
+	return w.Buffer.Write(b)
+}
+
+func TestWriteFrameIsSingleWrite(t *testing.T) {
+	var w countingWriter
+	if err := writeFrame(&w, request{Op: "put", Collection: "models", ID: "x", Doc: Document{"k": "v"}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Fatalf("frame took %d writes; header and body must go out in one", w.calls)
+	}
+	var out request
+	if err := readFrame(&w.Buffer, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != "put" || out.ID != "x" {
+		t.Fatalf("round trip through single write: %+v", out)
+	}
+}
+
+func TestReadFrameRejectsTruncatedHeader(t *testing.T) {
+	// A connection dying inside the 4-byte length prefix must error, not
+	// hang or fabricate a frame.
+	for _, n := range []int{0, 1, 3} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, request{Op: "ping"}); err != nil {
+			t.Fatal(err)
+		}
+		var out request
+		if err := readFrame(bytes.NewReader(buf.Bytes()[:n]), &out); err == nil {
+			t.Fatalf("expected error for %d-byte header", n)
+		}
+	}
+}
+
 func TestReadFrameRejectsOversizedLength(t *testing.T) {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)

@@ -13,6 +13,7 @@
 package evalflow
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -309,11 +310,19 @@ func runNodesPhase(provider StoreProvider, cfg Config, spec models.Spec, phase i
 	}
 	close(out)
 	byNode := make([][]Measurement, cfg.Nodes)
+	// Collect every node's error before failing: a 20-node DIST run that
+	// dies on all 20 nodes must report all 20 causes, not whichever one
+	// happened to drain from the channel first.
+	var errs []error
 	for o := range out {
 		if o.err != nil {
-			return nil, o.err
+			errs = append(errs, fmt.Errorf("node %d: %w", o.node, o.err))
+			continue
 		}
 		byNode[o.node] = o.ms
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	var all []Measurement
 	for _, ms := range byNode {

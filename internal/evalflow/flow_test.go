@@ -1,12 +1,15 @@
 package evalflow
 
 import (
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/docdb"
+	"repro/internal/faultnet"
 	"repro/internal/filestore"
 	"repro/internal/models"
 )
@@ -172,6 +175,118 @@ func TestDistributedFlowCounts(t *testing.T) {
 		ratio := float64(m.Save.StorageBytes) / float64(ms[0].Save.StorageBytes)
 		if ratio < 0.9 || ratio > 1.1 {
 			t.Fatalf("storage varies across nodes: %d vs %d", m.Save.StorageBytes, ms[0].Save.StorageBytes)
+		}
+	}
+}
+
+// TestNodePhaseReportsAllNodeErrors: when every node of a phase fails, the
+// flow error must carry every node's cause, not just whichever error
+// happened to be read first.
+func TestNodePhaseReportsAllNodeErrors(t *testing.T) {
+	cfg := tinyFlowConfig(core.BaselineApproach, FullyUpdated)
+	cfg.Nodes = 3
+	cfg.MeasureTTR = false
+	stores := localStores(t)
+	var calls atomic.Int64
+	provider := func() (core.Stores, func(), error) {
+		// The first call hands the server its stores; every node call
+		// after that fails with a distinguishable cause.
+		if calls.Add(1) == 1 {
+			return stores, func() {}, nil
+		}
+		return core.Stores{}, nil, fmt.Errorf("metadata machine unreachable (call %d)", calls.Load())
+	}
+	_, err := Run(provider, cfg)
+	if err == nil {
+		t.Fatal("expected the phase to fail")
+	}
+	msg := err.Error()
+	for node := 0; node < 3; node++ {
+		if !strings.Contains(msg, fmt.Sprintf("node %d:", node)) {
+			t.Fatalf("error lost node %d's cause:\n%s", node, msg)
+		}
+	}
+	if !strings.Contains(msg, "metadata machine unreachable") {
+		t.Fatalf("error lost the underlying cause:\n%s", msg)
+	}
+}
+
+// TestFaultyFlowStoresIdenticalArtifacts is the fault-tolerance acceptance
+// test: a DIST-5 flow over a deterministic flaky network (connection
+// drops, torn frames, delays — with the clients retrying, reconnecting,
+// and deduping retried inserts) must complete and persist artifacts
+// byte-identical to the same flow on a healthy network. Faults may cost
+// time; they may never cost or corrupt a byte.
+func TestFaultyFlowStoresIdenticalArtifacts(t *testing.T) {
+	cfg := tinyFlowConfig(core.ParamUpdateApproach, FullyUpdated)
+	cfg.Nodes = 5
+	cfg.U3PerPhase = 2 // scaled-down DIST-5: 2 + 5*2*2 = 22 models
+	cfg.SequentialNodes = true
+	cfg.MeasureTTR = true // recovery must also survive the flaky network
+
+	type capturedRun struct {
+		byKey map[string]core.Artifacts
+	}
+	capture := func(provider StoreProvider, res *Result) capturedRun {
+		t.Helper()
+		stores, release, err := provider()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer release()
+		run := capturedRun{byKey: map[string]core.Artifacts{}}
+		for _, m := range res.Measurements {
+			art, err := core.CaptureArtifacts(stores, m.ModelID)
+			if err != nil {
+				t.Fatalf("capturing %s: %v", m.UseCase, err)
+			}
+			run.byKey[fmt.Sprintf("%s/node%d", m.UseCase, m.Node)] = art
+		}
+		return run
+	}
+
+	// Healthy network.
+	healthyProvider, healthyCleanup, err := DistributedProvider(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthyCleanup()
+	healthyRes, err := Run(healthyProvider, cfg)
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	healthy := capture(healthyProvider, healthyRes)
+
+	// Flaky network, deterministic schedule.
+	var stats faultnet.Stats
+	faultyProvider, faultyCleanup, err := FaultyDistributedProvider(t.TempDir(), faultnet.Config{
+		Seed:  20260806,
+		Rate:  0.05,
+		Stats: &stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultyCleanup()
+	faultyRes, err := Run(faultyProvider, cfg)
+	if err != nil {
+		t.Fatalf("flow did not survive the flaky network: %v", err)
+	}
+	faulty := capture(faultyProvider, faultyRes)
+
+	if stats.Total() == 0 {
+		t.Fatal("no faults were injected; the run proved nothing")
+	}
+	if len(healthy.byKey) != len(faulty.byKey) {
+		t.Fatalf("measurement counts differ: %d vs %d", len(healthy.byKey), len(faulty.byKey))
+	}
+	for key, want := range healthy.byKey {
+		got, ok := faulty.byKey[key]
+		if !ok {
+			t.Fatalf("faulty run missing measurement %s", key)
+		}
+		if d := want.Diff(got); d != "" {
+			t.Errorf("%s: stored %s differ between fault-free and faulty runs", key, d)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/docdb"
+	"repro/internal/faultnet"
 	"repro/internal/filestore"
 )
 
@@ -177,6 +178,43 @@ func DistributedProvider(filesDir string) (StoreProvider, func(), error) {
 	}
 	provider := func() (core.Stores, func(), error) {
 		client, err := docdb.Dial(srv.Addr())
+		if err != nil {
+			return core.Stores{}, nil, err
+		}
+		return core.Stores{Meta: client, Files: files}, func() { client.Close() }, nil
+	}
+	cleanup := func() { srv.Close() }
+	return provider, cleanup, nil
+}
+
+// FaultyDistributedProvider is DistributedProvider over a flaky network:
+// every metadata connection a node dials is wrapped with the deterministic
+// fault schedule described by fc, and the clients are configured to retry
+// through those faults (tight backoff, generous attempt budget — the
+// injected faults are frequent by design). The flow's stored artifacts
+// must come out byte-identical to a fault-free run; the fault-tolerance
+// tests assert exactly that.
+func FaultyDistributedProvider(filesDir string, fc faultnet.Config) (StoreProvider, func(), error) {
+	backend := docdb.NewMemStore()
+	srv, err := docdb.NewServer(backend, "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	files, err := filestore.Open(filesDir)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	dial := faultnet.Dialer(fc)
+	opts := docdb.ClientOptions{
+		OpTimeout:    5 * time.Second,
+		MaxRetries:   10,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+		Dialer:       dial,
+	}
+	provider := func() (core.Stores, func(), error) {
+		client, err := docdb.DialOptions(srv.Addr(), opts)
 		if err != nil {
 			return core.Stores{}, nil, err
 		}

@@ -49,6 +49,14 @@ type Opts struct {
 	// BatchSize and Resolution configure training input.
 	BatchSize  int
 	Resolution int
+	// FaultRate, when > 0, runs the distributed flows over a flaky
+	// metadata network: every connection misbehaves (drops, torn frames,
+	// delays) with this per-operation probability, on a deterministic
+	// schedule, and the clients retry through it. TTS/TTR under degraded
+	// links then becomes a measurable ablation.
+	FaultRate float64
+	// FaultSeed seeds the deterministic fault schedule.
+	FaultSeed uint64
 }
 
 // Default returns fast settings suitable for benchmarks and CI: small
@@ -156,6 +164,7 @@ func Registry() map[string]Func {
 		"abl-bandwidth":  AblationBandwidth,
 		"abl-adaptive":   AblationAdaptive,
 		"abl-workers":    AblationWorkers,
+		"abl-faults":     AblationFaults,
 	}
 }
 
@@ -165,7 +174,7 @@ func Order() []string {
 		"tab1", "tab2", "fig2", "fig4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"tab3", "fig14", "fig15",
-		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers",
+		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers", "abl-faults",
 	}
 }
 

@@ -7,8 +7,23 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/evalflow"
+	"repro/internal/faultnet"
 	"repro/internal/models"
 )
+
+// distProvider yields the store provider for one distributed run: the
+// fault-free network by default, or — when the options carry a fault rate
+// — a deterministic flaky network whose seed varies per run so repeated
+// runs see different (but replayable) schedules.
+func distProvider(o Opts, dir string, run uint64) (evalflow.StoreProvider, func(), error) {
+	if o.FaultRate <= 0 {
+		return evalflow.DistributedProvider(dir)
+	}
+	return evalflow.FaultyDistributedProvider(dir, faultnet.Config{
+		Seed: o.FaultSeed + run*0x9e3779b9,
+		Rate: o.FaultRate,
+	})
+}
 
 // distFlow executes a distributed evaluation flow: an in-process document
 // database server standing in for the dedicated MongoDB machine, a shared
@@ -29,7 +44,7 @@ func distFlow(o Opts, approach string, recover bool) (evalflow.MedianOfRuns, err
 		if err != nil {
 			return agg, err
 		}
-		provider, cleanup, err := evalflow.DistributedProvider(tmp.path)
+		provider, cleanup, err := distProvider(o, tmp.path, uint64(i))
 		if err != nil {
 			tmp.cleanup()
 			return agg, err

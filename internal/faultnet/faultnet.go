@@ -1,0 +1,214 @@
+// Package faultnet provides deterministic, seed-scheduled fault injection
+// for net.Conn and net.Listener. The paper's DIST-N evaluation flows
+// assume the metadata machine and its links never fail; the reproduction's
+// north star is a production system, so every networked component must be
+// testable against a link that delays, drops, tears frames mid-write, and
+// closes mid-read. Wrapping a connection (or a listener, so every accepted
+// connection misbehaves) injects exactly those faults on a schedule fully
+// determined by the configured seed: the same seed always yields the same
+// fault sequence, so a failing run can be replayed byte for byte.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by a connection operation that a
+// scheduled fault interrupted. It always wraps the close of the underlying
+// connection: an injected fault poisons the wrapped conn, like a real torn
+// link would.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config describes a fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed determines the fault schedule. Two connections wrapped with the
+	// same seed misbehave identically.
+	Seed uint64
+	// Rate is the per-operation fault probability in [0, 1]. Each Read and
+	// Write rolls once against this rate.
+	Rate float64
+	// Delay is the latency added when a delay fault fires (default 1ms).
+	// Delays are injected at half the configured Rate on top of the hard
+	// faults, modeling a slow-but-working link.
+	Delay time.Duration
+	// Stats, when non-nil, counts the faults every wrapped connection
+	// injects. Tests use it to prove the harness actually engaged.
+	Stats *Stats
+}
+
+// Stats counts injected faults across connections. All fields are managed
+// atomically; read them with Total or atomic loads.
+type Stats struct {
+	Delays        atomic.Int64
+	Drops         atomic.Int64
+	PartialWrites atomic.Int64
+	ReadCloses    atomic.Int64
+}
+
+// Total returns the number of hard faults injected (drops, partial writes,
+// mid-read closes), excluding pure delays.
+func (s *Stats) Total() int64 {
+	return s.Drops.Load() + s.PartialWrites.Load() + s.ReadCloses.Load()
+}
+
+// rng is a splitmix64 generator: tiny, fast, and — unlike the global
+// math/rand state — fully owned by the connection, so the schedule depends
+// on nothing but the seed and the operation sequence.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// chance reports whether an event with probability p fires on this roll.
+func (r *rng) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(r.next()>>11)/float64(1<<53) < p
+}
+
+// mix derives an independent stream from a seed and a stream index, so
+// every connection accepted or dialed under one Config gets its own
+// deterministic schedule.
+func mix(seed, stream uint64) uint64 {
+	r := rng{state: seed ^ (stream+1)*0x6a09e667f3bcc909}
+	return r.next()
+}
+
+// Conn wraps a net.Conn with scheduled faults. A hard fault closes the
+// underlying connection and fails the operation with ErrInjected; all
+// subsequent operations fail too, like a genuinely torn link.
+type Conn struct {
+	net.Conn
+	cfg    Config
+	mu     sync.Mutex
+	r      rng
+	broken bool
+}
+
+// WrapConn wraps c with the fault schedule derived from cfg.Seed.
+func WrapConn(c net.Conn, cfg Config) *Conn {
+	if cfg.Delay == 0 {
+		cfg.Delay = time.Millisecond
+	}
+	return &Conn{Conn: c, cfg: cfg, r: rng{state: cfg.Seed}}
+}
+
+// breakConn closes the underlying connection and returns ErrInjected
+// joined with the close result. Callers must hold c.mu.
+func (c *Conn) breakConn() error {
+	c.broken = true
+	return errors.Join(ErrInjected, c.Conn.Close())
+}
+
+// Write delivers b, possibly delayed, torn after a prefix, or dropped
+// entirely with the connection closed.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return 0, ErrInjected
+	}
+	if c.cfg.Rate > 0 && c.r.chance(c.cfg.Rate) {
+		if c.r.chance(0.5) && len(b) > 1 {
+			// Torn frame: a prefix lands on the wire, then the link dies.
+			n, _ := c.Conn.Write(b[:len(b)/2])
+			if c.cfg.Stats != nil {
+				c.cfg.Stats.PartialWrites.Add(1)
+			}
+			return n, c.breakConn()
+		}
+		if c.cfg.Stats != nil {
+			c.cfg.Stats.Drops.Add(1)
+		}
+		return 0, c.breakConn()
+	}
+	c.maybeDelay()
+	return c.Conn.Write(b)
+}
+
+// Read fills b, possibly delayed or interrupted by a mid-read close.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if c.cfg.Rate > 0 && c.r.chance(c.cfg.Rate) {
+		if c.cfg.Stats != nil {
+			c.cfg.Stats.ReadCloses.Add(1)
+		}
+		err := c.breakConn()
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.maybeDelay()
+	c.mu.Unlock()
+	// The read itself happens outside the schedule lock: a blocking read
+	// must not serialize against concurrent writes on the same conn.
+	return c.Conn.Read(b)
+}
+
+// maybeDelay injects latency at half the fault rate. Callers hold c.mu.
+func (c *Conn) maybeDelay() {
+	if c.cfg.Rate > 0 && c.r.chance(c.cfg.Rate/2) {
+		if c.cfg.Stats != nil {
+			c.cfg.Stats.Delays.Add(1)
+		}
+		time.Sleep(c.cfg.Delay)
+	}
+}
+
+// Listener wraps a net.Listener so every accepted connection carries its
+// own deterministic fault schedule, derived from the config seed and the
+// accept index.
+type Listener struct {
+	net.Listener
+	cfg Config
+	n   atomic.Uint64
+}
+
+// WrapListener wraps ln with per-connection fault injection.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	sub := l.cfg
+	sub.Seed = mix(l.cfg.Seed, l.n.Add(1))
+	return WrapConn(c, sub), nil
+}
+
+// Dialer returns a dial function that establishes TCP connections and
+// wraps each with fault injection. Successive dials get independent
+// deterministic schedules, so a client that reconnects after a fault does
+// not replay the exact fault that killed the previous connection.
+func Dialer(cfg Config) func(addr string) (net.Conn, error) {
+	var n atomic.Uint64
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		sub := cfg
+		sub.Seed = mix(cfg.Seed, n.Add(1))
+		return WrapConn(c, sub), nil
+	}
+}

@@ -1,0 +1,235 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubConn is a loopback-free net.Conn: writes append to a buffer, reads
+// drain a preloaded buffer. It lets fault schedules run without a peer.
+type stubConn struct {
+	mu     sync.Mutex
+	wr     bytes.Buffer
+	rd     bytes.Buffer
+	closed bool
+}
+
+func (c *stubConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return c.rd.Read(b)
+}
+
+func (c *stubConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return c.wr.Write(b)
+}
+
+func (c *stubConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *stubConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *stubConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *stubConn) SetDeadline(t time.Time) error      { return nil }
+func (c *stubConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *stubConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// schedule runs a fixed operation sequence against a wrapped conn and
+// returns one symbol per op describing what the schedule did.
+func schedule(seed uint64, rate float64, ops int) []string {
+	stub := &stubConn{}
+	stub.rd.WriteString(string(make([]byte, 1<<16)))
+	c := WrapConn(stub, Config{Seed: seed, Rate: rate, Delay: time.Microsecond})
+	var out []string
+	buf := make([]byte, 64)
+	for i := 0; i < ops; i++ {
+		var err error
+		var n int
+		if i%2 == 0 {
+			n, err = c.Write(buf)
+		} else {
+			n, err = c.Read(buf)
+		}
+		switch {
+		case err == nil:
+			out = append(out, "ok")
+		case n > 0:
+			out = append(out, "torn")
+		default:
+			out = append(out, "fail")
+		}
+	}
+	return out
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 424242} {
+		a := schedule(seed, 0.3, 40)
+		b := schedule(seed, 0.3, 40)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("seed %d: schedules diverge:\n%v\n%v", seed, a, b)
+		}
+	}
+	if fmt.Sprint(schedule(1, 0.5, 40)) == fmt.Sprint(schedule(2, 0.5, 40)) {
+		t.Fatal("different seeds produced identical schedules (suspiciously)")
+	}
+}
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	for _, sym := range schedule(99, 0, 100) {
+		if sym != "ok" {
+			t.Fatalf("zero rate injected a fault: %v", sym)
+		}
+	}
+}
+
+func TestFaultPoisonsConn(t *testing.T) {
+	stub := &stubConn{}
+	var stats Stats
+	// Rate 1: the very first operation faults and breaks the conn.
+	c := WrapConn(stub, Config{Seed: 5, Rate: 1, Stats: &stats})
+	if _, err := c.Write([]byte("hello")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !stub.closed {
+		t.Fatal("fault must close the underlying conn")
+	}
+	// Every subsequent op fails fast.
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault read: %v", err)
+	}
+	if stats.Total() == 0 {
+		t.Fatal("stats did not record the fault")
+	}
+}
+
+func TestPartialWriteLeavesPrefix(t *testing.T) {
+	// Scan seeds until the first write faults as a torn frame; assert the
+	// prefix (and only the prefix) landed.
+	payload := bytes.Repeat([]byte("ab"), 64)
+	for seed := uint64(0); seed < 200; seed++ {
+		stub := &stubConn{}
+		var stats Stats
+		c := WrapConn(stub, Config{Seed: seed, Rate: 1, Stats: &stats})
+		n, err := c.Write(payload)
+		if stats.PartialWrites.Load() == 0 {
+			continue
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("torn write must return ErrInjected, got %v", err)
+		}
+		if n == 0 || n >= len(payload) {
+			t.Fatalf("torn write wrote %d of %d bytes", n, len(payload))
+		}
+		if got := stub.wr.Bytes(); !bytes.Equal(got, payload[:n]) {
+			t.Fatalf("wire holds %q, want prefix %q", got, payload[:n])
+		}
+		return
+	}
+	t.Fatal("no seed in [0,200) produced a partial write at rate 1")
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	ln := WrapListener(inner, Config{Seed: 3, Rate: 1, Stats: &stats})
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		_, werr := conn.Write([]byte("data"))
+		done <- werr
+	}()
+
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("accepted conn should fault at rate 1, got %v", err)
+	}
+	if stats.Total() == 0 {
+		t.Fatal("listener-wrapped conn did not record faults")
+	}
+}
+
+func TestDialerGivesIndependentSchedules(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	dial := Dialer(Config{Seed: 11, Rate: 0.5})
+	// Two conns from the same dialer must not replay one schedule: collect
+	// each conn's first-fault index and require they differ somewhere
+	// across a few dials (identical schedules would always agree).
+	firstFault := func() int {
+		c, err := dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 100; i++ {
+			if _, err := c.Write([]byte("x")); err != nil {
+				return i
+			}
+		}
+		return -1
+	}
+	a := []int{firstFault(), firstFault(), firstFault(), firstFault()}
+	same := true
+	for _, v := range a[1:] {
+		if v != a[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("4 dialed conns share one fault schedule: %v", a)
+	}
+}

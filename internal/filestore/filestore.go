@@ -97,6 +97,13 @@ func (s *Store) Save(r io.Reader) (id string, size int64, hash string, err error
 
 // SaveAs streams r into the blob with the given identifier, overwriting any
 // existing blob, and returns the stored size and content hash.
+//
+// The blob is staged under a uniquely named temp file, fsynced, and then
+// renamed into place. A fixed temp name would let two concurrent saves of
+// the same identifier interleave bytes into one file, and skipping the
+// sync would let the rename commit a blob whose tail the OS never flushed
+// — a crash could then surface a truncated artifact under a committed
+// name, breaking the exactness guarantee the stores exist to keep.
 func (s *Store) SaveAs(id string, r io.Reader) (int64, string, error) {
 	path, err := s.path(id)
 	if err != nil {
@@ -105,13 +112,16 @@ func (s *Store) SaveAs(id string, r io.Reader) (int64, string, error) {
 	if bw := s.bandwidth(); bw > 0 {
 		r = Throttle(r, bw)
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(s.root, id+".*.tmp")
 	if err != nil {
-		return 0, "", fmt.Errorf("filestore: creating blob: %w", err)
+		return 0, "", fmt.Errorf("filestore: staging blob: %w", err)
 	}
+	tmp := f.Name()
 	h := sha256.New()
 	n, err := copyPooled(io.MultiWriter(f, h), r)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

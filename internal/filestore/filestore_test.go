@@ -5,7 +5,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"io"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -197,6 +199,62 @@ func TestStoreBandwidthAppliesToReads(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
 		t.Fatalf("unthrottled read too slow: %v", elapsed)
+	}
+}
+
+// TestConcurrentSaveAsSameID races many writers onto one blob identifier.
+// With the old fixed `path+".tmp"` staging name, two concurrent saves
+// interleaved bytes into one temp file and committed a chimera; with
+// unique temp names, the final blob must be exactly one writer's payload.
+func TestConcurrentSaveAsSameID(t *testing.T) {
+	s := newStore(t)
+	const writers = 8
+	const rounds = 10
+	payload := func(w int) []byte {
+		// Distinct sizes catch interleavings as well as content mixes.
+		return bytes.Repeat([]byte{byte('A' + w)}, 4096+w*512)
+	}
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if _, _, err := s.SaveAs("shared", bytes.NewReader(payload(w))); err != nil {
+					errs <- err
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		got, err := s.ReadAll("shared")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for w := 0; w < writers; w++ {
+			if bytes.Equal(got, payload(w)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("round %d: committed blob (%d bytes) matches no writer's payload — saves interleaved", round, len(got))
+		}
+	}
+	// No temp litter: every staged file was renamed or removed.
+	entries, err := os.ReadDir(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "shared" {
+			t.Fatalf("leftover file %q in store root", e.Name())
+		}
 	}
 }
 

@@ -24,8 +24,8 @@ go run ./cmd/mmlint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/docdb ./internal/evalflow ./internal/train ./internal/tensor ./internal/nn"
-go test -race ./internal/docdb ./internal/evalflow ./internal/train ./internal/tensor ./internal/nn
+echo "==> go test -race ./internal/docdb ./internal/evalflow ./internal/filestore ./internal/faultnet ./internal/train ./internal/tensor ./internal/nn"
+go test -race ./internal/docdb ./internal/evalflow ./internal/filestore ./internal/faultnet ./internal/train ./internal/tensor ./internal/nn
 
 echo "==> go test -bench smoke (hot-path benchmarks, one iteration)"
 go test -run '^$' -bench 'BenchmarkStateDictHashWorkers|BenchmarkStateDictSerialize$' -benchtime 1x .
