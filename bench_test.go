@@ -223,3 +223,102 @@ func BenchmarkResNet18Instantiate(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationRecover(b *testing.B) { benchExperiment(b, experiments.AblationRecover) }
+
+// BenchmarkStateDictDeserialize is the recovery-side mirror of
+// BenchmarkStateDictSerialize: decoding a full MobileNetV2 state dict from
+// its stored bytes.
+func BenchmarkStateDictDeserialize(b *testing.B) {
+	m, err := models.New(models.MobileNetV2Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := nn.StateDictOf(m)
+	var buf bytes.Buffer
+	if _, err := sd.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.ReadStateDictBytes(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStateDictDeserializeWorkers sweeps the decode pool size; on
+// multi-core machines throughput scales with workers, and the decoded dict
+// is bit-identical at every count (see internal/nn/statedict_test.go).
+func BenchmarkStateDictDeserializeWorkers(b *testing.B) {
+	m, err := models.New(models.MobileNetV2Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := nn.StateDictOf(m).WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	prev := tensor.DecodeWorkers()
+	defer tensor.SetDecodeWorkers(prev)
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			tensor.SetDecodeWorkers(w)
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nn.ReadStateDictBytes(raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBARecoverChecksums is the recover analog of the save headline: a
+// verified baseline recovery of a ResNet-18 snapshot, uncached vs cached.
+// The uncached row measures the pipelined load path (params and code fetch
+// concurrently with the metadata/env reads); the cached row measures
+// verification-on-hit plus the clone and weight-copy passes.
+func BenchmarkBARecoverChecksums(b *testing.B) {
+	m, err := models.New(models.ResNet18Name, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := models.Spec{Arch: models.ResNet18Name, NumClasses: 1000}
+	files, err := filestore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := core.NewBaseline(core.Stores{Meta: docdb.NewMemStore(), Files: files})
+	res, err := svc.Save(core.SaveInfo{Spec: spec, Net: m, WithChecksums: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := nn.StateDictOf(m).SerializedSize()
+	opts := core.RecoverOptions{VerifyChecksums: true}
+	b.Run("uncached", func(b *testing.B) {
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Recover(res.ID, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		svc.SetRecoveryCache(core.NewRecoveryCache(0))
+		if _, err := svc.Recover(res.ID, opts); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.SetBytes(size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Recover(res.ID, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -22,23 +22,28 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list experiment identifiers and exit")
-		workers = flag.Int("workers", 0, "goroutines for parallel hashing and tensor reductions (0 = one per CPU; results are bit-identical for any value)")
-		paper   = flag.Bool("paper", false, "run at paper scale (full dataset sizes, 5-run medians, DIST-20)")
-		scale   = flag.Float64("scale", 0, "override dataset scale (1.0 = Table 1 sizes)")
-		runs    = flag.Int("runs", 0, "override repetitions for medians")
-		nodes   = flag.Int("nodes", 0, "override node count for distributed flows")
-		u3      = flag.Int("u3", 0, "override U3 iterations per phase for distributed flows")
-		archs   = flag.String("archs", "", "comma-separated architecture override (e.g. mobilenetv2,resnet152)")
-		outdir  = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
-		frate   = flag.Float64("fault-rate", 0, "per-operation fault probability injected into distributed-flow metadata connections (0 = healthy network)")
-		fseed   = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule (same seed = same faults)")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment identifiers and exit")
+		workers  = flag.Int("workers", 0, "goroutines for parallel hashing and tensor reductions (0 = one per CPU; results are bit-identical for any value)")
+		rworkers = flag.Int("recover-workers", 0, "goroutines for recovery-side tensor deserialization (0 = follow -workers; results are bit-identical for any value)")
+		rcache   = flag.Bool("recover-cache", false, "memoize recoveries in the measured U4 sweeps through a recovery cache")
+		paper    = flag.Bool("paper", false, "run at paper scale (full dataset sizes, 5-run medians, DIST-20)")
+		scale    = flag.Float64("scale", 0, "override dataset scale (1.0 = Table 1 sizes)")
+		runs     = flag.Int("runs", 0, "override repetitions for medians")
+		nodes    = flag.Int("nodes", 0, "override node count for distributed flows")
+		u3       = flag.Int("u3", 0, "override U3 iterations per phase for distributed flows")
+		archs    = flag.String("archs", "", "comma-separated architecture override (e.g. mobilenetv2,resnet152)")
+		outdir   = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
+		frate    = flag.Float64("fault-rate", 0, "per-operation fault probability injected into distributed-flow metadata connections (0 = healthy network)")
+		fseed    = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule (same seed = same faults)")
 	)
 	flag.Parse()
 
 	if *workers > 0 {
 		tensor.SetWorkers(*workers)
+	}
+	if *rworkers > 0 {
+		tensor.SetDecodeWorkers(*rworkers)
 	}
 
 	if *list {
@@ -70,6 +75,8 @@ func main() {
 	opts.WorkDir = *outdir
 	opts.FaultRate = *frate
 	opts.FaultSeed = *fseed
+	opts.RecoverCache = *rcache
+	opts.RecoverWorkers = *rworkers
 
 	reg := experiments.Registry()
 	var ids []string

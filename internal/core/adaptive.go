@@ -26,6 +26,7 @@ type Adaptive struct {
 	stores Stores
 	pua    *ParamUpdate
 	mpa    *Provenance
+	cache  *RecoveryCache
 }
 
 // NewAdaptive creates an adaptive save service.
@@ -34,6 +35,13 @@ func NewAdaptive(stores Stores) *Adaptive {
 }
 
 var _ SaveService = (*Adaptive)(nil)
+var _ RecoveryCacher = (*Adaptive)(nil)
+
+// SetRecoveryCache memoizes recoveries through c (nil disables). The
+// recursive recovery checks the cache at every chain level, so a sweep
+// over a mixed-approach chain reuses each recovered prefix whether the
+// next link merges parameters or replays training.
+func (a *Adaptive) SetRecoveryCache(c *RecoveryCache) { a.cache = c }
 
 // Approach implements SaveService.
 func (a *Adaptive) Approach() string { return "adaptive" }
@@ -93,56 +101,88 @@ func (a *Adaptive) Save(info SaveInfo) (SaveResult, error) {
 // recursion, parameter-update links merge their changed layers into the
 // recovered base, and provenance links re-execute their recorded training.
 func (a *Adaptive) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	return a.recover(id, opts, cacheFor(a.cache, opts), a.mpa.newDatasetMemo(), 0)
+}
+
+// recover is the recursive recovery. The dataset memo is shared across the
+// whole chain so repeated provenance links load each archive once; the
+// cache is consulted at every level and populated only with the requested
+// model (depth 0) — intermediate levels are memoized when they are
+// themselves recovered directly, which is exactly the U4 sweep pattern.
+func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache, dm *datasetMemo, depth int) (*RecoveredModel, error) {
+	t0 := time.Now()
+	if cache != nil {
+		if cr, ok := cache.Get(id); ok {
+			return rebuildFromCache(id, cr, opts, RecoverTiming{Load: time.Since(t0)})
+		}
+	}
 	doc, err := getModelDoc(a.stores.Meta, id)
 	if err != nil {
 		return nil, err
 	}
-	if doc.CodeFileRef != "" {
-		return recoverSnapshot(a.stores, id, opts)
-	}
-	if doc.BaseID == "" {
-		return nil, fmt.Errorf("core: derived model %s has no base reference", id)
-	}
-	rec, err := a.Recover(doc.BaseID, opts)
-	if err != nil {
-		return nil, err
-	}
+	var rec *RecoveredModel
 	switch {
-	case doc.ParamsFileRef != "": // parameter-update link
-		t0 := time.Now()
-		raw, err := loadStateDictBytes(a.stores.Files, doc.ParamsFileRef)
-		if err != nil {
+	case doc.CodeFileRef != "": // full snapshot anchors the recursion
+		if rec, err = recoverSnapshot(a.stores, id, opts); err != nil {
 			return nil, err
 		}
-		rec.Timing.Load += time.Since(t0)
-		t1 := time.Now()
-		update, err := nn.ReadStateDict(bytesReader(raw))
-		if err != nil {
-			return nil, err
-		}
-		if err := applyUpdateToNet(rec.Net, update); err != nil {
-			return nil, err
-		}
-		restoreTrainable(rec.Net, doc.TrainablePrefixes)
-		rec.Timing.Recover += time.Since(t1)
-	case doc.ServiceDocID != "": // provenance link
-		timing, err := a.mpa.applyTrainingLink(id, doc, rec.Net, opts)
-		if err != nil {
-			return nil, err
-		}
-		rec.Timing.add(timing)
+	case doc.BaseID == "":
+		return nil, fmt.Errorf("core: derived model %s has no base reference", id)
 	default:
-		return nil, fmt.Errorf("core: model %s has neither parameters nor provenance", id)
-	}
-	if opts.VerifyChecksums && doc.StateHash != "" {
-		t3 := time.Now()
-		if got := nn.StateDictOf(rec.Net).Hash(); got != doc.StateHash {
-			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
+		if rec, err = a.recover(doc.BaseID, opts, cache, dm, depth+1); err != nil {
+			return nil, err
 		}
-		rec.Timing.Verify += time.Since(t3)
+		switch {
+		case doc.ParamsFileRef != "": // parameter-update link
+			t0 := time.Now()
+			raw, err := loadStateDictBytes(a.stores.Files, doc.ParamsFileRef)
+			if err != nil {
+				return nil, err
+			}
+			rec.Timing.Load += time.Since(t0)
+			t1 := time.Now()
+			update, err := nn.ReadStateDictBytes(raw)
+			if err != nil {
+				return nil, err
+			}
+			if err := applyUpdateToNet(rec.Net, update); err != nil {
+				return nil, err
+			}
+			restoreTrainable(rec.Net, doc.TrainablePrefixes)
+			rec.Timing.Recover += time.Since(t1)
+		case doc.ServiceDocID != "": // provenance link
+			timing, err := a.mpa.applyTrainingLink(id, doc, rec.Net, opts, dm)
+			if err != nil {
+				return nil, err
+			}
+			rec.Timing.add(timing)
+		default:
+			return nil, fmt.Errorf("core: model %s has neither parameters nor provenance", id)
+		}
+		if opts.VerifyChecksums && doc.StateHash != "" {
+			t3 := time.Now()
+			if got := nn.StateDictOf(rec.Net).Hash(); got != doc.StateHash {
+				return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
+			}
+			rec.Timing.Verify += time.Since(t3)
+		}
+		rec.ID = id
+		rec.BaseID = doc.BaseID
 	}
-	rec.ID = id
-	rec.BaseID = doc.BaseID
+
+	if depth == 0 && cache != nil {
+		// The environment document is loaded solely to complete the cache
+		// entry (a hit must still honor CheckEnv); its failure only costs
+		// the memoization.
+		t4 := time.Now()
+		if env, err := envFromDoc(a.stores.Meta, doc.EnvDocID); err == nil {
+			cache.Put(id, CachedRecovery{
+				Spec: rec.Spec, BaseID: doc.BaseID, State: nn.StateDictOf(rec.Net), Env: env,
+				TrainablePrefixes: doc.TrainablePrefixes, StateHash: doc.StateHash,
+			})
+		}
+		rec.Timing.Recover += time.Since(t4)
+	}
 	return rec, nil
 }
 

@@ -19,6 +19,7 @@ import (
 // initial model.
 type Baseline struct {
 	stores Stores
+	cache  *RecoveryCache
 }
 
 // NewBaseline creates a baseline save service over the given stores.
@@ -27,6 +28,10 @@ func NewBaseline(stores Stores) *Baseline {
 }
 
 var _ SaveService = (*Baseline)(nil)
+var _ RecoveryCacher = (*Baseline)(nil)
+
+// SetRecoveryCache memoizes recoveries through c (nil disables).
+func (b *Baseline) SetRecoveryCache(c *RecoveryCache) { b.cache = c }
 
 // Approach implements SaveService.
 func (b *Baseline) Approach() string { return BaselineApproach }
@@ -169,16 +174,74 @@ func loadStateDictBytes(files *filestore.Store, id string) ([]byte, error) {
 // Recover implements SaveService. The baseline explicitly does not follow
 // base-model references: every model is self-contained.
 func (b *Baseline) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
-	return recoverSnapshot(b.stores, id, opts)
+	return recoverSnapshotCached(b.stores, cacheFor(b.cache, opts), id, opts)
+}
+
+// cacheFor resolves the effective cache for one recovery: the service's
+// cache, or nil when the options bypass it.
+func cacheFor(c *RecoveryCache, opts RecoverOptions) *RecoveryCache {
+	if opts.NoCache {
+		return nil
+	}
+	return c
+}
+
+// rebuildFromCache turns a cache hit into a RecoveredModel: instantiate
+// the architecture, load the cloned state, reapply freezing. The cache
+// already re-verified the stored state's integrity on the hit; under
+// VerifyChecksums the rebuilt net is additionally re-hashed against the
+// document checksum recorded at insert, exactly like the uncached path.
+func rebuildFromCache(id string, cr CachedRecovery, opts RecoverOptions, timing RecoverTiming) (*RecoveredModel, error) {
+	t1 := time.Now()
+	net, err := models.Instantiate(cr.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.State.LoadInto(net); err != nil {
+		return nil, fmt.Errorf("core: restoring cached parameters for %s: %w", id, err)
+	}
+	restoreTrainable(net, cr.TrainablePrefixes)
+	timing.Recover += time.Since(t1)
+
+	if opts.CheckEnv {
+		t2 := time.Now()
+		if err := environment.Check(cr.Env); err != nil {
+			return nil, err
+		}
+		timing.CheckEnv += time.Since(t2)
+	}
+	if opts.VerifyChecksums && cr.StateHash != "" {
+		t3 := time.Now()
+		if got := nn.StateDictOf(net).Hash(); got != cr.StateHash {
+			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
+		}
+		timing.Verify += time.Since(t3)
+	}
+	return &RecoveredModel{ID: id, Spec: cr.Spec, Net: net, BaseID: cr.BaseID, Timing: timing}, nil
 }
 
 // recoverSnapshot rebuilds a model from a full snapshot document. It is
 // also the recursion anchor for the other approaches.
 func recoverSnapshot(stores Stores, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	return recoverSnapshotCached(stores, nil, id, opts)
+}
+
+// recoverSnapshotCached is recoverSnapshot with an optional recovery
+// cache: a hit skips the store entirely; a miss loads code and parameter
+// blobs concurrently, recovers, and populates the cache.
+func recoverSnapshotCached(stores Stores, cache *RecoveryCache, id string, opts RecoverOptions) (*RecoveredModel, error) {
 	var timing RecoverTiming
 
-	// Load: documents and file bytes.
+	// Load: documents and file bytes. A cache hit stands in for the whole
+	// load phase; on a miss the two blob reads run concurrently while the
+	// environment document round-trips.
 	t0 := time.Now()
+	if cache != nil {
+		if cr, ok := cache.Get(id); ok {
+			timing.Load = time.Since(t0)
+			return rebuildFromCache(id, cr, opts, timing)
+		}
+	}
 	doc, err := getModelDoc(stores.Meta, id)
 	if err != nil {
 		return nil, err
@@ -186,27 +249,30 @@ func recoverSnapshot(stores Stores, id string, opts RecoverOptions) (*RecoveredM
 	if doc.ParamsFileRef == "" {
 		return nil, fmt.Errorf("core: model %s has no parameter snapshot (approach %s)", id, doc.Approach)
 	}
+	codeF := fetchBlob(stores.Files, doc.CodeFileRef)
+	paramsF := fetchBlob(stores.Files, doc.ParamsFileRef)
 	env, err := envFromDoc(stores.Meta, doc.EnvDocID)
 	if err != nil {
 		return nil, err
 	}
-	codeBytes, err := stores.Files.ReadAll(doc.CodeFileRef)
+	codeBytes, err := codeF.wait()
 	if err != nil {
 		return nil, fmt.Errorf("core: loading model code: %w", err)
 	}
-	paramBytes, err := loadStateDictBytes(stores.Files, doc.ParamsFileRef)
+	paramBytes, err := paramsF.wait()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: loading parameters %s: %w", doc.ParamsFileRef, err)
 	}
 	timing.Load = time.Since(t0)
 
-	// Recover: deserialize, build the architecture, restore state.
+	// Recover: deserialize (parallel tensor decode), build the
+	// architecture, restore state.
 	t1 := time.Now()
 	spec, err := models.ParseSpec(codeBytes)
 	if err != nil {
 		return nil, err
 	}
-	sd, err := nn.ReadStateDict(bytesReader(paramBytes))
+	sd, err := nn.ReadStateDictBytes(paramBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +305,15 @@ func recoverSnapshot(stores Stores, id string, opts RecoverOptions) (*RecoveredM
 			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
 		}
 		timing.Verify = time.Since(t3)
+	}
+
+	if cache != nil {
+		t4 := time.Now()
+		cache.Put(id, CachedRecovery{
+			Spec: spec, BaseID: doc.BaseID, State: sd, Env: env,
+			TrainablePrefixes: doc.TrainablePrefixes, StateHash: doc.StateHash,
+		})
+		timing.Recover += time.Since(t4)
 	}
 
 	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: doc.BaseID, Timing: timing}, nil

@@ -104,6 +104,9 @@ type RecoverOptions struct {
 	// VerifyChecksums re-hashes the recovered parameters against stored
 	// checksums when the model was saved with checksums.
 	VerifyChecksums bool
+	// NoCache bypasses the service's RecoveryCache (if one is configured)
+	// for this recovery: nothing is read from or written to the cache.
+	NoCache bool
 }
 
 // RecoverTiming is the recovery-time breakdown of Figure 12.

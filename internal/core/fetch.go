@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/docdb"
+	"repro/internal/environment"
+	"repro/internal/filestore"
+)
+
+// Pipelined chain loading. Recovering a derived model walks its base chain
+// through the metadata store; the documents must be fetched sequentially
+// (each link's BaseID is only known once its document arrives), but the
+// artifact blobs they reference — parameter files, model code, dataset
+// archives, optimizer state — are independent. Each blob fetch is launched
+// as soon as its reference is known and runs while the walk continues, so
+// a chain of depth k pays one round-trip ladder for the documents plus the
+// slowest blob, not the sum of all blob transfers. Over the networked
+// docdb (and under faultnet's injected delays) this is the difference
+// between k serial round-trips and one.
+
+// fetch is a single-use future: goFetch launches fn on its own goroutine
+// and wait blocks until it finishes.
+type fetch[T any] struct {
+	val  T
+	err  error
+	done chan struct{}
+}
+
+// goFetch runs fn concurrently and returns a future for its result.
+func goFetch[T any](fn func() (T, error)) *fetch[T] {
+	f := &fetch[T]{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.val, f.err = fn()
+	}()
+	return f
+}
+
+// wait blocks until the fetch completes and returns its result.
+func (f *fetch[T]) wait() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// fetchBlob starts an asynchronous read of a file-store blob.
+func fetchBlob(files *filestore.Store, id string) *fetch[[]byte] {
+	return goFetch(func() ([]byte, error) { return files.ReadAll(id) })
+}
+
+// fetchEnv starts an asynchronous load of an environment document.
+func fetchEnv(meta docdb.Store, id string) *fetch[environment.Info] {
+	return goFetch(func() (environment.Info, error) { return envFromDoc(meta, id) })
+}

@@ -21,6 +21,7 @@ type ParamUpdate struct {
 	// compares every layer hash pairwise. The flag exists for the ablation
 	// benchmark of the Merkle optimization.
 	UseMerkle bool
+	cache     *RecoveryCache
 }
 
 // NewParamUpdate creates a parameter update save service.
@@ -29,6 +30,12 @@ func NewParamUpdate(stores Stores) *ParamUpdate {
 }
 
 var _ SaveService = (*ParamUpdate)(nil)
+var _ RecoveryCacher = (*ParamUpdate)(nil)
+
+// SetRecoveryCache memoizes recoveries through c (nil disables). A chain
+// walk that finds any prefix of its base chain in the cache merges only
+// the suffix updates onto the cached state.
+func (p *ParamUpdate) SetRecoveryCache(c *RecoveryCache) { p.cache = c }
 
 // Approach implements SaveService.
 func (p *ParamUpdate) Approach() string { return ParamUpdateApproach }
@@ -182,42 +189,52 @@ func toLeaves(hashes []nn.KeyHash) []merkle.Leaf {
 // Recover implements SaveService. Recovery is recursive: the chain of base
 // references is followed down to a full snapshot, then parameter updates
 // are merged upward with the derived model's layers taking priority.
+//
+// Two optimizations keep the walk cheap. Blob fetches are pipelined: each
+// link's parameter (and code) read starts as soon as its document names
+// the reference, and runs while the walk follows the next BaseID. And
+// when a recovery cache is configured, the walk stops at the first cached
+// ancestor: a leaf hit skips the store entirely, a mid-chain hit merges
+// only the suffix of updates onto the cached state.
 func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	cache := cacheFor(p.cache, opts)
 	var timing RecoverTiming
 
-	// Walk the chain from the requested model down to the snapshot root,
-	// loading documents and raw parameter bytes (the "load" bucket).
+	// Walk the chain from the requested model toward the snapshot root,
+	// launching blob fetches as references appear (the "load" bucket).
 	type link struct {
 		id     string
 		doc    modelDoc
-		params []byte
-		code   []byte
-		env    environment.Info
+		params *fetch[[]byte]
+		code   *fetch[[]byte]
+		env    *fetch[environment.Info]
 	}
 	var chain []link
+	var cached *CachedRecovery // cached ancestor that terminated the walk
 	cur := id
 	t0 := time.Now()
 	for {
+		if cache != nil {
+			if cr, ok := cache.Get(cur); ok {
+				if len(chain) == 0 {
+					timing.Load = time.Since(t0)
+					return rebuildFromCache(id, cr, opts, timing)
+				}
+				cached = &cr
+				break
+			}
+		}
 		doc, err := getModelDoc(p.stores.Meta, cur)
 		if err != nil {
 			return nil, err
 		}
 		l := link{id: cur, doc: doc}
-		l.env, err = envFromDoc(p.stores.Meta, doc.EnvDocID)
-		if err != nil {
-			return nil, err
-		}
+		l.env = fetchEnv(p.stores.Meta, doc.EnvDocID)
 		if doc.ParamsFileRef != "" {
-			l.params, err = loadStateDictBytes(p.stores.Files, doc.ParamsFileRef)
-			if err != nil {
-				return nil, err
-			}
+			l.params = fetchBlob(p.stores.Files, doc.ParamsFileRef)
 		}
 		if doc.CodeFileRef != "" {
-			l.code, err = p.stores.Files.ReadAll(doc.CodeFileRef)
-			if err != nil {
-				return nil, err
-			}
+			l.code = fetchBlob(p.stores.Files, doc.CodeFileRef)
 		}
 		chain = append(chain, l)
 		if doc.CodeFileRef != "" {
@@ -228,21 +245,56 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 		}
 		cur = doc.BaseID
 	}
+
+	// Collect the in-flight fetches; this closes the load bucket.
+	params := make([][]byte, len(chain))
+	var rootCode []byte
+	var targetEnv environment.Info
+	for i, l := range chain {
+		env, err := l.env.wait()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			targetEnv = env
+		}
+		if l.params != nil {
+			if params[i], err = l.params.wait(); err != nil {
+				return nil, fmt.Errorf("core: loading parameters %s: %w", l.doc.ParamsFileRef, err)
+			}
+		}
+		if l.code != nil {
+			if rootCode, err = l.code.wait(); err != nil {
+				return nil, fmt.Errorf("core: loading model code: %w", err)
+			}
+		}
+	}
 	timing.Load = time.Since(t0)
 
-	// Recover: deserialize the snapshot, then merge updates root-to-leaf.
+	// Recover: deserialize the snapshot (or start from the cached
+	// ancestor's state), then merge updates root-to-leaf.
 	t1 := time.Now()
-	root := chain[len(chain)-1]
-	spec, err := models.ParseSpec(root.code)
-	if err != nil {
-		return nil, err
+	var spec models.Spec
+	var state *nn.StateDict
+	start := len(chain) - 1
+	if cached != nil {
+		// cached.State is Get's private clone; Merge may share its tensors
+		// into the result, which stays private to this recovery.
+		spec, state = cached.Spec, cached.State
+	} else {
+		var err error
+		spec, err = models.ParseSpec(rootCode)
+		if err != nil {
+			return nil, err
+		}
+		state, err = nn.ReadStateDictBytes(params[start])
+		if err != nil {
+			return nil, err
+		}
+		start--
 	}
-	state, err := nn.ReadStateDict(bytesReader(root.params))
-	if err != nil {
-		return nil, err
-	}
-	for i := len(chain) - 2; i >= 0; i-- {
-		update, err := nn.ReadStateDict(bytesReader(chain[i].params))
+	for i := start; i >= 0; i-- {
+		update, err := nn.ReadStateDictBytes(params[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: reading update %s: %w", chain[i].id, err)
 		}
@@ -261,7 +313,7 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 
 	if opts.CheckEnv {
 		t2 := time.Now()
-		if err := environment.Check(target.env); err != nil {
+		if err := environment.Check(targetEnv); err != nil {
 			return nil, err
 		}
 		timing.CheckEnv = time.Since(t2)
@@ -272,6 +324,15 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
 		}
 		timing.Verify = time.Since(t3)
+	}
+
+	if cache != nil {
+		t4 := time.Now()
+		cache.Put(id, CachedRecovery{
+			Spec: spec, BaseID: target.doc.BaseID, State: state, Env: targetEnv,
+			TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
+		})
+		timing.Recover += time.Since(t4)
 	}
 	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: target.doc.BaseID, Timing: timing}, nil
 }

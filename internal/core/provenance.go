@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/environment"
 	"repro/internal/filestore"
+	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/train"
 )
@@ -29,6 +30,7 @@ type Provenance struct {
 	// ResolveDataset resolves an external dataset reference when
 	// DatasetByReference is set.
 	ResolveDataset func(ref string) (*dataset.Dataset, error)
+	cache          *RecoveryCache
 }
 
 // NewProvenance creates a model provenance save service.
@@ -37,6 +39,38 @@ func NewProvenance(stores Stores) *Provenance {
 }
 
 var _ SaveService = (*Provenance)(nil)
+var _ RecoveryCacher = (*Provenance)(nil)
+
+// SetRecoveryCache memoizes recoveries through c (nil disables). A chain
+// walk that finds any ancestor in the cache replays only the training
+// links above it, which is what makes re-execution-based recovery usable
+// in a U4-style sweep.
+func (p *Provenance) SetRecoveryCache(c *RecoveryCache) { p.cache = c }
+
+// datasetMemo memoizes dataset loads by reference within one recovery.
+// Consecutive fine-tuning steps routinely train on the same dataset, so a
+// chain replay would otherwise fetch and decompress the same archive once
+// per link. The memo hands out shared fetch futures: the first request
+// launches the load, later requests join it. It is confined to a single
+// recovery (each Recover creates its own), so it needs no lock.
+type datasetMemo struct {
+	p *Provenance
+	m map[string]*fetch[*dataset.Dataset]
+}
+
+func (p *Provenance) newDatasetMemo() *datasetMemo {
+	return &datasetMemo{p: p, m: make(map[string]*fetch[*dataset.Dataset])}
+}
+
+// fetch returns the future for ref, starting the load on first request.
+func (dm *datasetMemo) fetch(ref string) *fetch[*dataset.Dataset] {
+	if f, ok := dm.m[ref]; ok {
+		return f
+	}
+	f := goFetch(func() (*dataset.Dataset, error) { return dm.p.loadDataset(ref) })
+	dm.m[ref] = f
+	return f
+}
 
 // Approach implements SaveService.
 func (p *Provenance) Approach() string { return ProvenanceApproach }
@@ -214,32 +248,52 @@ func saveDatasetArchive(stores Stores, ds *dataset.Dataset) (string, int64, erro
 // snapshot root, recovers the root model, and then reproduces each training
 // step in order — the recursive process of Section 3.3, with training in
 // place of parameter merging.
+//
+// The load side is pipelined: each link's dataset archive, optimizer
+// state, and environment document start fetching the moment its documents
+// name them, while the walk follows the next BaseID; datasets are
+// additionally memoized by reference, so a chain fine-tuned on one
+// dataset decompresses its archive once. With a recovery cache the walk
+// stops at the first cached ancestor and replays only the trainings above
+// it — for MPA this is the difference between re-executing the whole
+// history and re-executing one link.
 func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	cache := cacheFor(p.cache, opts)
 	var timing RecoverTiming
 
 	type link struct {
 		id       string
 		doc      modelDoc
 		svcDoc   train.ServiceDoc
-		ds       *dataset.Dataset
-		optState []byte
-		env      environment.Info
+		ds       *fetch[*dataset.Dataset]
+		optState *fetch[[]byte]
+		env      *fetch[environment.Info]
 	}
 
-	// Load phase: fetch documents, dataset archives, and state files.
+	// Load phase: walk the documents, launching artifact fetches as their
+	// references appear.
 	t0 := time.Now()
+	dm := p.newDatasetMemo()
 	var chain []link
+	var cached *CachedRecovery // cached ancestor that terminated the walk
 	cur := id
 	for {
+		if cache != nil {
+			if cr, ok := cache.Get(cur); ok {
+				if len(chain) == 0 {
+					timing.Load = time.Since(t0)
+					return rebuildFromCache(id, cr, opts, timing)
+				}
+				cached = &cr
+				break
+			}
+		}
 		doc, err := getModelDoc(p.stores.Meta, cur)
 		if err != nil {
 			return nil, err
 		}
 		l := link{id: cur, doc: doc}
-		l.env, err = envFromDoc(p.stores.Meta, doc.EnvDocID)
-		if err != nil {
-			return nil, err
-		}
+		l.env = fetchEnv(p.stores.Meta, doc.EnvDocID)
 		if doc.CodeFileRef != "" {
 			// Snapshot root: recovered below with the baseline logic (we
 			// re-fetch there; the double document read is negligible next
@@ -257,15 +311,9 @@ func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, e
 		if err := mapToDoc(svcRaw, &l.svcDoc); err != nil {
 			return nil, err
 		}
-		l.ds, err = p.loadDataset(l.svcDoc.DatasetRef)
-		if err != nil {
-			return nil, err
-		}
+		l.ds = dm.fetch(l.svcDoc.DatasetRef)
 		if ref := l.svcDoc.Wrappers["optimizer"].StateFileRef; ref != "" {
-			l.optState, err = p.stores.Files.ReadAll(ref)
-			if err != nil {
-				return nil, fmt.Errorf("core: loading optimizer state: %w", err)
-			}
+			l.optState = fetchBlob(p.stores.Files, ref)
 		}
 		chain = append(chain, l)
 		if doc.BaseID == "" {
@@ -273,25 +321,59 @@ func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, e
 		}
 		cur = doc.BaseID
 	}
+
+	// Collect the in-flight fetches; this closes the load bucket.
+	envs := make([]environment.Info, len(chain))
+	datasets := make([]*dataset.Dataset, len(chain))
+	optStates := make([][]byte, len(chain))
+	for i, l := range chain {
+		var err error
+		if envs[i], err = l.env.wait(); err != nil {
+			return nil, err
+		}
+		if l.ds != nil {
+			if datasets[i], err = l.ds.wait(); err != nil {
+				return nil, err
+			}
+		}
+		if l.optState != nil {
+			if optStates[i], err = l.optState.wait(); err != nil {
+				return nil, fmt.Errorf("core: loading optimizer state: %w", err)
+			}
+		}
+	}
 	timing.Load = time.Since(t0)
 
-	// Recover the snapshot root.
-	root := chain[len(chain)-1]
-	rootModel, err := recoverSnapshot(p.stores, root.id, RecoverOptions{CheckEnv: opts.CheckEnv, VerifyChecksums: opts.VerifyChecksums})
-	if err != nil {
-		return nil, err
+	// Recover the chain's starting point: the cached ancestor's state, or
+	// the snapshot root.
+	var net nn.Module
+	var spec models.Spec
+	start := len(chain) - 1
+	if cached != nil {
+		base, err := rebuildFromCache(cur, *cached, opts, RecoverTiming{})
+		if err != nil {
+			return nil, err
+		}
+		timing.add(base.Timing)
+		net, spec = base.Net, base.Spec
+	} else {
+		root := chain[start]
+		rootModel, err := recoverSnapshot(p.stores, root.id, RecoverOptions{CheckEnv: opts.CheckEnv, VerifyChecksums: opts.VerifyChecksums})
+		if err != nil {
+			return nil, err
+		}
+		timing.add(rootModel.Timing)
+		net, spec = rootModel.Net, rootModel.Spec
+		start--
 	}
-	timing.add(rootModel.Timing)
-	net := rootModel.Net
-	spec := rootModel.Spec
 
-	// Reproduce each training step from root to target.
-	for i := len(chain) - 2; i >= 0; i-- {
+	// Reproduce each training step from the starting point to the target.
+	for i := start; i >= 0; i-- {
 		l := chain[i]
 
 		if opts.CheckEnv {
 			t2 := time.Now()
-			if err := environment.Check(l.env); err != nil {
+			if err := environment.Check(envs[i]); err != nil {
 				return nil, err
 			}
 			timing.CheckEnv += time.Since(t2)
@@ -299,7 +381,7 @@ func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, e
 
 		t1 := time.Now()
 		restoreTrainable(net, l.doc.TrainablePrefixes)
-		svc, err := train.Restore(l.svcDoc, l.ds, l.optState)
+		svc, err := train.Restore(l.svcDoc, datasets[i], optStates[i])
 		if err != nil {
 			return nil, err
 		}
@@ -318,14 +400,23 @@ func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, e
 	}
 
 	target := chain[0]
+	if cache != nil {
+		t4 := time.Now()
+		cache.Put(id, CachedRecovery{
+			Spec: spec, BaseID: target.doc.BaseID, State: nn.StateDictOf(net), Env: envs[0],
+			TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
+		})
+		timing.Recover += time.Since(t4)
+	}
 	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: target.doc.BaseID, Timing: timing}, nil
 }
 
 // applyTrainingLink loads one provenance link's service document, dataset,
 // and optimizer state, then reproduces its training on net. It is used by
 // the adaptive approach to apply a single provenance step inside a chain
-// that mixes approaches.
-func (p *Provenance) applyTrainingLink(id string, doc modelDoc, net nn.Module, opts RecoverOptions) (RecoverTiming, error) {
+// that mixes approaches. The dataset is resolved through dm, so several
+// provenance links in one recovery share a single archive load.
+func (p *Provenance) applyTrainingLink(id string, doc modelDoc, net nn.Module, opts RecoverOptions, dm *datasetMemo) (RecoverTiming, error) {
 	var timing RecoverTiming
 	t0 := time.Now()
 	svcRaw, err := p.stores.Meta.Get(ColServices, doc.ServiceDocID)
@@ -336,14 +427,19 @@ func (p *Provenance) applyTrainingLink(id string, doc modelDoc, net nn.Module, o
 	if err := mapToDoc(svcRaw, &svcDoc); err != nil {
 		return timing, err
 	}
-	ds, err := p.loadDataset(svcDoc.DatasetRef)
+	// Dataset and optimizer state fetch concurrently.
+	dsF := dm.fetch(svcDoc.DatasetRef)
+	var optF *fetch[[]byte]
+	if ref := svcDoc.Wrappers["optimizer"].StateFileRef; ref != "" {
+		optF = fetchBlob(p.stores.Files, ref)
+	}
+	ds, err := dsF.wait()
 	if err != nil {
 		return timing, err
 	}
 	var optState []byte
-	if ref := svcDoc.Wrappers["optimizer"].StateFileRef; ref != "" {
-		optState, err = p.stores.Files.ReadAll(ref)
-		if err != nil {
+	if optF != nil {
+		if optState, err = optF.wait(); err != nil {
 			return timing, fmt.Errorf("core: loading optimizer state: %w", err)
 		}
 	}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/environment"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// RecoveryCache memoizes recovered model states keyed by model identifier,
+// so a U4 sweep over a derivation chain recovers each prefix once: a PUA
+// recover that finds its base in the cache merges only the suffix updates,
+// and an MPA recover replays only the suffix training links, turning the
+// sweep's total cost linear in chain length instead of quadratic (the
+// lineage-aware caching MGit applies to the same derivation-chain shape).
+//
+// Safety is non-negotiable — the stores' whole point is exact recovery —
+// so the cache never shares tensors with callers and never trusts its own
+// memory blindly:
+//
+//   - Entries are deep-cloned on insert and again on every hit, so a
+//     caller mutating a recovered net (training on it, say) can never
+//     corrupt the cached state, and two hits never alias.
+//   - Every entry records the content hash of its state at insert time and
+//     re-hashes the stored tensors on every hit (verification-on-hit,
+//     computed fresh, never from a digest cache). A mismatch drops the
+//     entry and reports a miss, so a corrupted cache degrades to the
+//     uncached path instead of propagating wrong parameters.
+//
+// The cache is bounded by the approximate in-memory size of its state
+// dicts and evicts least-recently-used entries. All methods are safe for
+// concurrent use; clone and hash passes run outside the lock (entries are
+// immutable once inserted), so concurrent recoveries only serialize on the
+// index bookkeeping.
+type RecoveryCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	stats    RecoveryCacheStats
+}
+
+// cacheEntry is immutable after insertion.
+type cacheEntry struct {
+	id    string
+	rec   CachedRecovery // rec.State is the cache's private clone
+	hash  string         // rec.State.Hash() at insert time
+	bytes int64
+	elem  *list.Element
+}
+
+// CachedRecovery is the cacheable portion of a recovered model. State is
+// always a private deep copy: Put clones what it is given, Get clones what
+// it returns.
+type CachedRecovery struct {
+	// Spec is the architecture, so a hit rebuilds the net without walking
+	// to the chain's snapshot root for the model code.
+	Spec models.Spec
+	// BaseID is the model's base reference.
+	BaseID string
+	// State is the full recovered state dict.
+	State *nn.StateDict
+	// Env is the recorded execution environment, kept so a hit can still
+	// honor RecoverOptions.CheckEnv.
+	Env environment.Info
+	// TrainablePrefixes restores layer freezing on a rebuilt net.
+	TrainablePrefixes []string
+	// StateHash is the checksum stored in the model's document ("" when it
+	// was saved without checksums). A hit under VerifyChecksums compares
+	// it against the entry's insert-time hash.
+	StateHash string
+}
+
+// RecoveryCacheStats counts cache traffic.
+type RecoveryCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Puts      uint64
+	Evictions uint64
+	// Corrupt counts hits rejected by verification: the stored state no
+	// longer hashed to its insert-time hash.
+	Corrupt uint64
+	// Entries and Bytes describe current occupancy.
+	Entries int
+	Bytes   int64
+}
+
+// DefaultRecoveryCacheBytes is the bound NewRecoveryCache applies when
+// given a non-positive size: roomy enough for a handful of large models,
+// small enough to stay incidental next to the stores themselves.
+const DefaultRecoveryCacheBytes = 256 << 20
+
+// NewRecoveryCache creates a cache bounded to approximately maxBytes of
+// cached state (<= 0 selects DefaultRecoveryCacheBytes).
+func NewRecoveryCache(maxBytes int64) *RecoveryCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultRecoveryCacheBytes
+	}
+	return &RecoveryCache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*cacheEntry),
+		lru:      list.New(),
+	}
+}
+
+// Get returns a private copy of the cached recovery for id. The stored
+// state is re-hashed first; on a mismatch the entry is dropped and Get
+// reports a miss.
+func (c *RecoveryCache) Get(id string) (CachedRecovery, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return CachedRecovery{}, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.mu.Unlock()
+
+	// Verification-on-hit, outside the lock: entries are immutable, and
+	// the entry's state has no digest cache, so Hash re-reads every byte.
+	if e.rec.State.Hash() != e.hash {
+		c.drop(e)
+		return CachedRecovery{}, false
+	}
+	out := e.rec
+	out.State = e.rec.State.Clone()
+	c.mu.Lock()
+	c.stats.Hits++
+	c.mu.Unlock()
+	return out, true
+}
+
+// drop removes a corrupted entry (if still present) and counts it.
+func (c *RecoveryCache) drop(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Corrupt++
+	c.stats.Misses++
+	if cur, ok := c.entries[e.id]; ok && cur == e {
+		c.removeLocked(cur)
+	}
+}
+
+// Put inserts a private copy of rec under id, evicting least-recently-used
+// entries until the bound holds. A state larger than the whole bound is
+// not cached. Put never retains rec.State.
+func (c *RecoveryCache) Put(id string, rec CachedRecovery) {
+	if rec.State == nil {
+		return
+	}
+	size := stateBytes(rec.State)
+	if size > c.maxBytes {
+		return
+	}
+	// Clone and hash outside the lock; both are full passes over the
+	// state and must not serialize concurrent recoveries.
+	rec.State = rec.State.Clone()
+	e := &cacheEntry{id: id, rec: rec, hash: rec.State.Hash(), bytes: size}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[id]; ok {
+		c.removeLocked(old)
+	}
+	c.entries[id] = e
+	e.elem = c.lru.PushFront(e)
+	c.curBytes += e.bytes
+	c.stats.Puts++
+	for c.curBytes > c.maxBytes {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest.Value.(*cacheEntry))
+		c.stats.Evictions++
+	}
+}
+
+// removeLocked unlinks e from the index and the LRU list.
+func (c *RecoveryCache) removeLocked(e *cacheEntry) {
+	delete(c.entries, e.id)
+	c.lru.Remove(e.elem)
+	c.curBytes -= e.bytes
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *RecoveryCache) Stats() RecoveryCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.curBytes
+	return s
+}
+
+// stateBytes approximates the in-memory size of a state dict: tensor data
+// plus a small per-entry overhead for keys and headers.
+func stateBytes(sd *nn.StateDict) int64 {
+	return sd.SerializedSize()
+}
+
+// RecoveryCacher is implemented by save services whose Recover path can
+// memoize through a RecoveryCache.
+type RecoveryCacher interface {
+	SetRecoveryCache(*RecoveryCache)
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -92,6 +93,18 @@ type Config struct {
 	SequentialNodes bool
 	// RecoverOpts configures the measured recoveries.
 	RecoverOpts core.RecoverOptions
+	// UseRecoveryCache equips the server's save service with a
+	// core.RecoveryCache for the U4 sweep, so each chain prefix is
+	// recovered once instead of once per descendant.
+	UseRecoveryCache bool
+	// RecoveryCacheBytes bounds the recovery cache (<= 0 selects the
+	// default bound).
+	RecoveryCacheBytes int64
+	// RecoverConcurrency runs the U4 sweep on this many concurrent
+	// workers (<= 1 = sequential, the default). Measured per-recovery
+	// timings then overlap, so use concurrency for throughput runs and
+	// correctness tests, not for Figure-12-style latency numbers.
+	RecoverConcurrency int
 }
 
 // DefaultConfig returns a standard-flow configuration for the given
@@ -179,6 +192,11 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.UseRecoveryCache {
+		if rc, ok := serverSvc.(core.RecoveryCacher); ok {
+			rc.SetRecoveryCache(core.NewRecoveryCache(cfg.RecoveryCacheBytes))
+		}
+	}
 
 	spec := models.Spec{Arch: cfg.Arch, NumClasses: cfg.NumClasses}
 	res := &Result{Config: cfg}
@@ -238,17 +256,60 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 
 	// U4: recover every saved model and record the TTR.
 	if cfg.MeasureTTR {
-		for i := range res.Measurements {
-			m := &res.Measurements[i]
-			rec, err := serverSvc.Recover(m.ModelID, cfg.RecoverOpts)
-			if err != nil {
-				return nil, fmt.Errorf("evalflow: recovering %s (%s): %w", m.ModelID, m.UseCase, err)
-			}
-			m.TTR = rec.Timing
-			m.Recovered = true
+		if err := runU4(serverSvc, cfg, res.Measurements); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil
+}
+
+// runU4 recovers every measurement's model, sequentially or on
+// cfg.RecoverConcurrency workers. Workers claim measurement indexes from a
+// shared atomic counter; each index is written by exactly one worker, so
+// the sweep needs no further coordination beyond the final WaitGroup.
+func runU4(svc core.SaveService, cfg Config, ms []Measurement) error {
+	recoverOne := func(i int) error {
+		m := &ms[i]
+		rec, err := svc.Recover(m.ModelID, cfg.RecoverOpts)
+		if err != nil {
+			return fmt.Errorf("evalflow: recovering %s (%s): %w", m.ModelID, m.UseCase, err)
+		}
+		m.TTR = rec.Timing
+		m.Recovered = true
+		return nil
+	}
+	w := cfg.RecoverConcurrency
+	if w <= 1 {
+		for i := range ms {
+			if err := recoverOne(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if w > len(ms) {
+		w = len(ms)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		errs = make([]error, len(ms))
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ms) {
+					return
+				}
+				errs[i] = recoverOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // applyRelation sets the trainable flags for the configured model relation.

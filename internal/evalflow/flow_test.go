@@ -12,6 +12,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/filestore"
 	"repro/internal/models"
+	"repro/internal/tensor"
 )
 
 // tinyFlowConfig returns a fast configuration over the tiny architecture
@@ -372,5 +373,133 @@ func TestMedianOfRuns(t *testing.T) {
 func TestRelationString(t *testing.T) {
 	if FullyUpdated.String() != "full" || PartiallyUpdated.String() != "partial" {
 		t.Fatal("relation strings")
+	}
+}
+
+// TestConcurrentU4SweepWithCache runs the recovery sweep on several
+// goroutines sharing one cache-equipped service. Under -race (verify.sh)
+// this doubles as the race gate for the cache and the pipelined loaders.
+func TestConcurrentU4SweepWithCache(t *testing.T) {
+	for _, approach := range []string{core.ParamUpdateApproach, "adaptive"} {
+		t.Run(approach, func(t *testing.T) {
+			cfg := tinyFlowConfig(approach, PartiallyUpdated)
+			cfg.RecoverConcurrency = 4
+			cfg.UseRecoveryCache = true
+			stores := localStores(t)
+			res, err := Run(LocalProvider(stores), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NumModels() != 10 {
+				t.Fatalf("models = %d, want 10", res.NumModels())
+			}
+			for _, uc := range res.UseCases() {
+				if res.MedianTTR(uc) <= 0 {
+					t.Fatalf("%s: no TTR", uc)
+				}
+				b := res.MedianTTRBreakdown(uc)
+				if b.Total() <= 0 {
+					t.Fatalf("%s: empty TTR breakdown", uc)
+				}
+			}
+
+			// The deterministic flow must store the same model states whether
+			// the sweep runs concurrent+cached or sequential+uncached.
+			cfg2 := tinyFlowConfig(approach, PartiallyUpdated)
+			stores2 := localStores(t)
+			res2, err := Run(LocalProvider(stores2), cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashOf := func(stores core.Stores, id string) string {
+				doc, err := stores.Meta.Get(core.ColModels, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, _ := doc["state_hash"].(string)
+				return h
+			}
+			for i, m := range res.Measurements {
+				if hashOf(stores, m.ModelID) != hashOf(stores2, res2.Measurements[i].ModelID) {
+					t.Fatalf("%s: state hash diverged between concurrent-cached and sequential runs", m.UseCase)
+				}
+			}
+		})
+	}
+}
+
+// TestDist5CachedRecoveryArtifactIdentical is the PR's correctness
+// acceptance: a DIST-5 flow whose recovery sweep runs with the cache,
+// concurrent workers, and parallel deserialization must persist artifacts
+// byte-identical to the same flow recovered sequentially and uncached.
+func TestDist5CachedRecoveryArtifactIdentical(t *testing.T) {
+	for _, approach := range []string{core.BaselineApproach, core.ParamUpdateApproach, core.ProvenanceApproach, "adaptive"} {
+		t.Run(approach, func(t *testing.T) {
+			cfg := tinyFlowConfig(approach, PartiallyUpdated)
+			cfg.Nodes = 5
+			cfg.U3PerPhase = 1 // scaled-down DIST-5: 2 + 5*2*1 = 12 models
+			cfg.SequentialNodes = true
+
+			capture := func(provider StoreProvider, res *Result) map[string]core.Artifacts {
+				t.Helper()
+				stores, release, err := provider()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer release()
+				byKey := map[string]core.Artifacts{}
+				for _, m := range res.Measurements {
+					art, err := core.CaptureArtifacts(stores, m.ModelID)
+					if err != nil {
+						t.Fatalf("capturing %s: %v", m.UseCase, err)
+					}
+					byKey[fmt.Sprintf("%s/node%d", m.UseCase, m.Node)] = art
+				}
+				return byKey
+			}
+
+			// Seed behavior: sequential uncached sweep, sequential decode.
+			plainProvider, plainCleanup, err := DistributedProvider(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plainCleanup()
+			plainRes, err := Run(plainProvider, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := capture(plainProvider, plainRes)
+
+			// Fast path: cache on, 4 sweep goroutines, 4 decode workers.
+			fast := cfg
+			fast.UseRecoveryCache = true
+			fast.RecoverConcurrency = 4
+			prevDW := tensor.DecodeWorkers()
+			tensor.SetDecodeWorkers(4)
+			defer tensor.SetDecodeWorkers(prevDW)
+			fastProvider, fastCleanup, err := DistributedProvider(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fastCleanup()
+			fastRes, err := Run(fastProvider, fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := capture(fastProvider, fastRes)
+
+			if len(plain) != len(got) {
+				t.Fatalf("measurement counts differ: %d vs %d", len(plain), len(got))
+			}
+			for key, want := range plain {
+				g, ok := got[key]
+				if !ok {
+					t.Fatalf("cached run missing measurement %s", key)
+				}
+				if d := want.Diff(g); d != "" {
+					t.Errorf("%s: stored %s differ between uncached and cached+parallel recovery", key, d)
+				}
+			}
+		})
 	}
 }

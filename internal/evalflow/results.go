@@ -58,6 +58,30 @@ func (r *Result) MedianTTR(useCase string) time.Duration {
 	return medianDuration(ds)
 }
 
+// MedianTTRBreakdown returns the per-bucket median recovery breakdown of a
+// use case across nodes (the Figure-12 load/recover/check-env/verify
+// split). Each bucket's median is taken independently, so the buckets may
+// come from different nodes and need not sum to MedianTTR; they answer
+// "where does a typical recovery of this use case spend its time".
+func (r *Result) MedianTTRBreakdown(useCase string) core.RecoverTiming {
+	ms := r.perUseCase(useCase)
+	var load, rec, env, ver []time.Duration
+	for _, m := range ms {
+		if m.Recovered {
+			load = append(load, m.TTR.Load)
+			rec = append(rec, m.TTR.Recover)
+			env = append(env, m.TTR.CheckEnv)
+			ver = append(ver, m.TTR.Verify)
+		}
+	}
+	return core.RecoverTiming{
+		Load:     medianDuration(load),
+		Recover:  medianDuration(rec),
+		CheckEnv: medianDuration(env),
+		Verify:   medianDuration(ver),
+	}
+}
+
 // MedianStorage returns the median per-model storage consumption of a use
 // case across nodes. (The paper observes storage is constant across nodes
 // and runs; the median guards against identifier-length noise.)
@@ -120,6 +144,25 @@ func (m MedianOfRuns) TTR(useCase string) time.Duration {
 		ds = append(ds, r.MedianTTR(useCase))
 	}
 	return medianDuration(ds)
+}
+
+// TTRBreakdown returns the median-of-runs recovery breakdown for a use
+// case, bucket by bucket.
+func (m MedianOfRuns) TTRBreakdown(useCase string) core.RecoverTiming {
+	var load, rec, env, ver []time.Duration
+	for _, r := range m.Runs {
+		b := r.MedianTTRBreakdown(useCase)
+		load = append(load, b.Load)
+		rec = append(rec, b.Recover)
+		env = append(env, b.CheckEnv)
+		ver = append(ver, b.Verify)
+	}
+	return core.RecoverTiming{
+		Load:     medianDuration(load),
+		Recover:  medianDuration(rec),
+		CheckEnv: medianDuration(env),
+		Verify:   medianDuration(ver),
+	}
 }
 
 // Storage returns the per-model storage of a use case.

@@ -57,6 +57,13 @@ type Opts struct {
 	FaultRate float64
 	// FaultSeed seeds the deterministic fault schedule.
 	FaultSeed uint64
+	// RecoverCache equips the measured recovery sweeps (U4) with a
+	// recovery cache, so each chain prefix is recovered once per sweep.
+	RecoverCache bool
+	// RecoverWorkers is the recovery-side deserialization pool size
+	// (tensor.SetDecodeWorkers); 0 follows the hashing pool. Results are
+	// bit-identical for any value.
+	RecoverWorkers int
 }
 
 // Default returns fast settings suitable for benchmarks and CI: small
@@ -164,6 +171,7 @@ func Registry() map[string]Func {
 		"abl-bandwidth":  AblationBandwidth,
 		"abl-adaptive":   AblationAdaptive,
 		"abl-workers":    AblationWorkers,
+		"abl-recover":    AblationRecover,
 		"abl-faults":     AblationFaults,
 	}
 }
@@ -174,7 +182,7 @@ func Order() []string {
 		"tab1", "tab2", "fig2", "fig4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"tab3", "fig14", "fig15",
-		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers", "abl-faults",
+		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers", "abl-recover", "abl-faults",
 	}
 }
 

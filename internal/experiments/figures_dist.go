@@ -53,6 +53,7 @@ func distFlow(o Opts, approach string, recover bool) (evalflow.MedianOfRuns, err
 		cfg.Nodes = o.Nodes
 		cfg.U3PerPhase = o.U3PerPhase
 		cfg.MeasureTTR = recover
+		cfg.UseRecoveryCache = o.RecoverCache
 		// Sequential nodes match the paper's contention-free per-node
 		// timings (its single node machine runs one save at a time).
 		cfg.SequentialNodes = true
@@ -117,6 +118,23 @@ func distFigure(w io.Writer, o Opts, recover bool) error {
 			fmt.Fprintf(tw, "\t%s", ms(v))
 		}
 		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if !recover {
+		return nil
+	}
+	// Per-bucket breakdown of the deepest recovery (the last U3 of phase
+	// 2 has the longest chain): where BA pays in load, PUA and MPA pay in
+	// recover (merging updates / replaying training).
+	ucs := perApproach[approaches[0]].UseCases()
+	deepest := ucs[len(ucs)-1]
+	tw = newTab(w)
+	fmt.Fprintf(tw, "\nTTR BREAKDOWN (%s)\tLOAD\tRECOVER\tCHECK ENV\tVERIFY\n", deepest)
+	for _, ap := range approaches {
+		b := perApproach[ap].TTRBreakdown(deepest)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", ap, ms(b.Load), ms(b.Recover), ms(b.CheckEnv), ms(b.Verify))
 	}
 	return tw.Flush()
 }

@@ -160,14 +160,35 @@ func (s *Store) Open(id string) (io.ReadCloser, error) {
 	return f, nil
 }
 
-// ReadAll returns the blob's full content.
+// ReadAll returns the blob's full content. The buffer is pre-sized from
+// the blob's stored size, so a read costs one allocation instead of
+// io.ReadAll's grow-and-copy doublings — parameter blobs are the largest
+// things recovery touches, and the doubling roughly doubles their peak
+// memory. The loop still handles files that change size underfoot.
 func (s *Store) ReadAll(id string) ([]byte, error) {
+	size, err := s.Size(id)
+	if err != nil {
+		return nil, err
+	}
 	rc, err := s.Open(id)
 	if err != nil {
 		return nil, err
 	}
 	defer rc.Close()
-	return io.ReadAll(rc)
+	b := make([]byte, 0, size+1) // +1 so a full read still sees EOF without growing
+	for {
+		n, err := rc.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("filestore: reading blob: %w", err)
+		}
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+	}
 }
 
 // Size returns the stored size of a blob.

@@ -457,35 +457,66 @@ func (sd *StateDict) SerializedSize() int64 {
 	return n
 }
 
-// ReadStateDict deserializes a state dict from r.
+// ReadStateDict deserializes a state dict from r. The stream is read fully
+// into memory and handed to ReadStateDictBytes, which decodes tensors in
+// parallel; callers that already hold the serialized bytes (the recovery
+// hot path does — load and deserialization are separate TTR buckets)
+// should call ReadStateDictBytes directly to avoid the copy.
 func ReadStateDict(r io.Reader) (*StateDict, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	var hdr [10]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("nn: reading state dict header: %w", err)
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading state dict: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[:4]) != sdMagic {
+	return ReadStateDictBytes(b)
+}
+
+// ReadStateDictBytes deserializes a state dict from its in-memory
+// serialized form in two phases: a sequential scan locates every key and
+// tensor-frame boundary without decoding data, then the frames are decoded
+// with tensor.DecodeFrames' bounded worker pool (up to
+// tensor.DecodeWorkers() goroutines, following tensor.SetWorkers by
+// default). Decoding is positionwise, so the result is bit-identical to a
+// sequential read for any worker count. The returned dict's tensors are
+// fresh copies; b is not retained.
+func ReadStateDictBytes(b []byte) (*StateDict, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("nn: reading state dict header: truncated")
+	}
+	if binary.LittleEndian.Uint32(b[:4]) != sdMagic {
 		return nil, fmt.Errorf("nn: bad state dict magic")
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != sdVersion {
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != sdVersion {
 		return nil, fmt.Errorf("nn: unsupported state dict version %d", v)
 	}
-	count := int(binary.LittleEndian.Uint32(hdr[6:10]))
-	sd := NewStateDict()
+	count := int(binary.LittleEndian.Uint32(b[6:10]))
+	keys := make([]string, count)
+	offs := make([]int, count)
+	off := 10
 	for i := 0; i < count; i++ {
-		var lb [2]byte
-		if _, err := io.ReadFull(br, lb[:]); err != nil {
-			return nil, fmt.Errorf("nn: reading key length: %w", err)
+		if len(b)-off < 2 {
+			return nil, fmt.Errorf("nn: reading key length: truncated")
 		}
-		keyBytes := make([]byte, binary.LittleEndian.Uint16(lb[:]))
-		if _, err := io.ReadFull(br, keyBytes); err != nil {
-			return nil, fmt.Errorf("nn: reading key: %w", err)
+		kl := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if len(b)-off < kl {
+			return nil, fmt.Errorf("nn: reading key: truncated")
 		}
-		t, err := tensor.ReadFrom(br)
+		keys[i] = string(b[off : off+kl])
+		off += kl
+		offs[i] = off
+		end, err := tensor.ScanFrame(b, off)
 		if err != nil {
-			return nil, fmt.Errorf("nn: reading tensor for %q: %w", keyBytes, err)
+			return nil, fmt.Errorf("nn: scanning tensor for %q: %w", keys[i], err)
 		}
-		sd.Set(string(keyBytes), t)
+		off = end
+	}
+	ts, err := tensor.DecodeFrames(b, offs)
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading tensors: %w", err)
+	}
+	sd := NewStateDict()
+	for i, key := range keys {
+		sd.Set(key, ts[i])
 	}
 	return sd, nil
 }

@@ -271,3 +271,43 @@ func TestDiffLayersErrors(t *testing.T) {
 		t.Fatal("expected key mismatch error")
 	}
 }
+
+func TestReadStateDictWorkerSweepBitIdentical(t *testing.T) {
+	m := demoModel(9)
+	sd := StateDictOf(m)
+	var buf bytes.Buffer
+	if _, err := sd.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	wantHash := sd.Hash()
+
+	prev := tensor.DecodeWorkers()
+	defer tensor.SetDecodeWorkers(prev)
+	for _, w := range []int{1, 2, 8} {
+		tensor.SetDecodeWorkers(w)
+		got, err := ReadStateDictBytes(raw)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !got.Equal(sd) {
+			t.Fatalf("workers=%d: decoded dict differs", w)
+		}
+		if h := got.Hash(); h != wantHash {
+			t.Fatalf("workers=%d: hash %s, want %s", w, h, wantHash)
+		}
+	}
+}
+
+func TestReadStateDictBytesTruncatedWithWorkers(t *testing.T) {
+	m := demoModel(10)
+	var buf bytes.Buffer
+	StateDictOf(m).WriteTo(&buf)
+	raw := buf.Bytes()
+	prev := tensor.DecodeWorkers()
+	defer tensor.SetDecodeWorkers(prev)
+	tensor.SetDecodeWorkers(4)
+	if _, err := ReadStateDictBytes(raw[:len(raw)-3]); err == nil {
+		t.Fatal("expected error for truncated dict under parallel decode")
+	}
+}

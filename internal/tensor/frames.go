@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Recovery-side deserialization. A recovered parameter blob is already fully
+// in memory (the load/recover split of the TTR breakdown reads the blob
+// first), so tensors can be decoded straight out of the byte slice instead
+// of through a streaming reader: no staging-buffer copy, and — because the
+// frame boundaries are cheap to scan without decoding — independent tensors
+// can be decoded by a bounded worker pool, mirroring DigestAll on the save
+// side. Decoding is positionwise, so the result is bit-identical for any
+// worker count.
+
+// decodeWorkers overrides the decode pool size; 0 follows Workers().
+var decodeWorkers atomic.Int64
+
+// DecodeWorkers returns the number of goroutines DecodeFrames uses: the
+// dedicated recovery-side override when set, otherwise Workers().
+func DecodeWorkers() int {
+	if n := int(decodeWorkers.Load()); n > 0 {
+		return n
+	}
+	return workers
+}
+
+// SetDecodeWorkers overrides the parallelism of recovery-side tensor
+// deserialization independently of the save-side digest pool. n < 1
+// restores the default (follow Workers()). Results are bit-identical for
+// any value; only wall-clock time changes.
+func SetDecodeWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	decodeWorkers.Store(int64(n))
+}
+
+// frameHeader parses a tensor frame header at b[off:] and returns the
+// shape, the offset of the IEEE-754 data, and the offset just past the
+// frame.
+func frameHeader(b []byte, off int) (shape []int, dataOff, end int, err error) {
+	if off < 0 || len(b)-off < 8 {
+		return nil, 0, 0, fmt.Errorf("tensor: truncated frame header")
+	}
+	if binary.LittleEndian.Uint32(b[off:off+4]) != magic {
+		return nil, 0, 0, fmt.Errorf("tensor: bad magic %#x", binary.LittleEndian.Uint32(b[off:off+4]))
+	}
+	if v := binary.LittleEndian.Uint16(b[off+4 : off+6]); v != formatVersion {
+		return nil, 0, 0, fmt.Errorf("tensor: unsupported format version %d", v)
+	}
+	ndim := int(binary.LittleEndian.Uint16(b[off+6 : off+8]))
+	off += 8
+	if len(b)-off < 4*ndim {
+		return nil, 0, 0, fmt.Errorf("tensor: truncated dims")
+	}
+	shape = make([]int, ndim)
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	// Compare via division: 4*n could overflow int for hostile dims.
+	n := Prod(shape)
+	if n < 0 || n > (len(b)-off)/4 {
+		return nil, 0, 0, fmt.Errorf("tensor: truncated data (want %d values)", n)
+	}
+	return shape, off, off + 4*n, nil
+}
+
+// ScanFrame returns the offset just past the tensor frame starting at
+// b[off:] without decoding its data. It validates the header and that the
+// data fits in b.
+func ScanFrame(b []byte, off int) (int, error) {
+	_, _, end, err := frameHeader(b, off)
+	return end, err
+}
+
+// ReadFromBytes decodes the tensor frame starting at b[off:] and returns
+// the tensor and the offset just past the frame. It is the in-memory
+// counterpart of ReadFrom: same format, no intermediate copies.
+func ReadFromBytes(b []byte, off int) (*Tensor, int, error) {
+	shape, dataOff, end, err := frameHeader(b, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	t := Zeros(shape...)
+	decodeData(t.data, b[dataOff:end])
+	return t, end, nil
+}
+
+// decodeData fills dst with the little-endian IEEE-754 values in src.
+func decodeData(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// DecodeFrames decodes the tensor frames starting at offs[i] in b with up
+// to DecodeWorkers() goroutines. Frames are independent, so out[i] is
+// bit-identical to a sequential ReadFromBytes(b, offs[i]) for any worker
+// count. Workers claim frames one at a time off a shared counter, which
+// load-balances the highly skewed tensor sizes of real architectures
+// better than static chunking — the same shape as DigestAll.
+func DecodeFrames(b []byte, offs []int) ([]*Tensor, error) {
+	out := make([]*Tensor, len(offs))
+	w := DecodeWorkers()
+	if w > len(offs) {
+		w = len(offs)
+	}
+	if w <= 1 {
+		for i, off := range offs {
+			t, _, err := ReadFromBytes(b, off)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: decoding frame %d: %w", i, err)
+			}
+			out[i] = t
+		}
+		return out, nil
+	}
+	errs := make([]error, len(offs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(offs) {
+					return
+				}
+				t, _, err := ReadFromBytes(b, offs[i])
+				out[i], errs[i] = t, err
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("tensor: decoding frame %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
