@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -22,11 +23,13 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// Analyzer is one mmlint pass over a type-checked package.
+// Analyzer is one mmlint pass over a type-checked package. Run receives the
+// whole analyzed Program so interprocedural analyzers can follow the shared
+// call graph, but must only report findings anchored in p.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Package) []Finding
+	Run  func(prog *Program, p *Package) []Finding
 }
 
 var analyzers = []*Analyzer{
@@ -34,14 +37,38 @@ var analyzers = []*Analyzer{
 	closeCheckAnalyzer,
 	panicFreeAnalyzer,
 	nakedGoroutineAnalyzer,
+	hashPurityAnalyzer,
+	deadlineCheckAnalyzer,
+	lockHeldAnalyzer,
+	boundedGoAnalyzer,
 }
 
+// nameDeadIgnore is the pseudo-analyzer that reports //mmlint:ignore
+// directives matching no finding. It is not a valid directive target: a dead
+// suppression must be deleted, not suppressed in turn.
+const nameDeadIgnore = "deadignore"
+
+// analyzerNames returns the names a //mmlint:ignore directive may target.
 func analyzerNames() map[string]bool {
 	names := map[string]bool{"all": true}
 	for _, a := range analyzers {
 		names[a.Name] = true
 	}
 	return names
+}
+
+// selectableNames returns the names -only/-skip accept.
+func selectableNames() map[string]bool {
+	names := map[string]bool{nameDeadIgnore: true}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// allEnabled returns the default analyzer selection: everything on.
+func allEnabled() map[string]bool {
+	return selectableNames()
 }
 
 // findingAt builds a Finding anchored at pos.
@@ -56,107 +83,173 @@ func (p *Package) findingAt(pos token.Pos, analyzer, format string, args ...any)
 	}
 }
 
-// runPackage runs every analyzer on p and applies //mmlint:ignore
-// suppressions. Malformed directives are reported as findings themselves
-// (analyzer "mmlint") so a typo cannot silently disable a gate.
-func runPackage(p *Package) []Finding {
-	var raw []Finding
+// runPackage runs the enabled analyzers on p — concurrently, they share no
+// mutable state — and applies //mmlint:ignore suppressions. Malformed
+// directives are reported as findings themselves (analyzer "mmlint") so a
+// typo cannot silently disable a gate; well-formed directives that suppress
+// nothing are reported as deadignore findings so stale suppressions cannot
+// accumulate.
+func runPackage(prog *Program, p *Package, enabled map[string]bool) []Finding {
+	dirs, bad := p.directives()
+	var (
+		raw []Finding
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+	)
 	for _, a := range analyzers {
-		raw = append(raw, a.Run(p)...)
-	}
-	directives, bad := parseDirectives(p)
-	var out []Finding
-	for _, f := range raw {
-		if suppressed(f, directives) {
+		if !enabled[a.Name] {
 			continue
 		}
-		out = append(out, f)
+		wg.Add(1)
+		//mmlint:ignore boundedgo the loop is over the fixed analyzer slice; its length is the bound
+		go func(a *Analyzer) {
+			defer wg.Done()
+			fs := a.Run(prog, p)
+			mu.Lock()
+			raw = append(raw, fs...)
+			mu.Unlock()
+		}(a)
+	}
+	wg.Wait()
+	sortFindings(raw)
+
+	used := make([]bool, len(dirs))
+	var out []Finding
+	for _, f := range raw {
+		hit := false
+		for i := range dirs {
+			if dirs[i].covers(f) {
+				used[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			out = append(out, f)
+		}
 	}
 	out = append(out, bad...)
+	if enabled[nameDeadIgnore] {
+		for i := range dirs {
+			if used[i] || !dirs[i].judgeable(enabled) {
+				continue
+			}
+			out = append(out, p.findingAt(dirs[i].pos, nameDeadIgnore,
+				"//mmlint:ignore %s directive suppresses nothing; the finding it silenced is gone — delete the directive",
+				strings.Join(dirs[i].nameList(), ",")))
+		}
+	}
 	return out
 }
 
 // directive is one parsed //mmlint:ignore comment.
 type directive struct {
+	pos    token.Pos
 	file   string
 	line   int
 	names  map[string]bool
 	reason string
 }
 
-// parseDirectives scans all comments of the package for
-// //mmlint:ignore directives. The accepted form is
+// covers reports whether the directive sits on the finding's line, or the
+// line directly above it, and names the finding's analyzer (or "all").
+func (d *directive) covers(f Finding) bool {
+	if d.file != f.File {
+		return false
+	}
+	if d.line != f.Line && d.line != f.Line-1 {
+		return false
+	}
+	return d.names["all"] || d.names[f.Analyzer]
+}
+
+// judgeable reports whether the directive can fairly be declared dead under
+// the current analyzer selection: every analyzer it names must have run
+// (an "all" directive needs the full set). Otherwise the directive may be
+// covering a finding a skipped analyzer would have produced.
+func (d *directive) judgeable(enabled map[string]bool) bool {
+	if d.names["all"] {
+		for _, a := range analyzers {
+			if !enabled[a.Name] {
+				return false
+			}
+		}
+		return true
+	}
+	for n := range d.names {
+		if !enabled[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// nameList returns the directive's analyzer names, sorted.
+func (d *directive) nameList() []string {
+	var out []string
+	for n := range d.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// directives parses (once) all //mmlint:ignore comments of the package.
+// The accepted form is
 //
 //	//mmlint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // placed either on the offending line or on the line directly above it.
 // <analyzer> may be "all". The reason is mandatory: a suppression without a
 // recorded justification is itself a finding.
-func parseDirectives(p *Package) ([]directive, []Finding) {
-	known := analyzerNames()
-	var dirs []directive
-	var bad []Finding
-	for _, file := range p.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "mmlint:ignore") {
-					continue
-				}
-				rest := strings.TrimPrefix(text, "mmlint:ignore")
-				fields := strings.Fields(rest)
-				pos := p.Fset.Position(c.Pos())
-				if len(fields) == 0 {
-					bad = append(bad, p.findingAt(c.Pos(), "mmlint",
-						"malformed directive: want //mmlint:ignore <analyzer> <reason>"))
-					continue
-				}
-				names := map[string]bool{}
-				ok := true
-				for _, n := range strings.Split(fields[0], ",") {
-					if !known[n] {
-						bad = append(bad, p.findingAt(c.Pos(), "mmlint",
-							"unknown analyzer %q in //mmlint:ignore directive", n))
-						ok = false
-						break
+func (p *Package) directives() ([]directive, []Finding) {
+	p.dirOnce.Do(func() {
+		known := analyzerNames()
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "mmlint:ignore") {
+						continue
 					}
-					names[n] = true
+					rest := strings.TrimPrefix(text, "mmlint:ignore")
+					fields := strings.Fields(rest)
+					pos := p.Fset.Position(c.Pos())
+					if len(fields) == 0 {
+						p.dirBad = append(p.dirBad, p.findingAt(c.Pos(), "mmlint",
+							"malformed directive: want //mmlint:ignore <analyzer> <reason>"))
+						continue
+					}
+					names := map[string]bool{}
+					ok := true
+					for _, n := range strings.Split(fields[0], ",") {
+						if !known[n] {
+							p.dirBad = append(p.dirBad, p.findingAt(c.Pos(), "mmlint",
+								"unknown analyzer %q in //mmlint:ignore directive", n))
+							ok = false
+							break
+						}
+						names[n] = true
+					}
+					if !ok {
+						continue
+					}
+					if len(fields) < 2 {
+						p.dirBad = append(p.dirBad, p.findingAt(c.Pos(), "mmlint",
+							"//mmlint:ignore directive needs a reason"))
+						continue
+					}
+					p.dirs = append(p.dirs, directive{
+						pos:    c.Pos(),
+						file:   pos.Filename,
+						line:   pos.Line,
+						names:  names,
+						reason: strings.Join(fields[1:], " "),
+					})
 				}
-				if !ok {
-					continue
-				}
-				if len(fields) < 2 {
-					bad = append(bad, p.findingAt(c.Pos(), "mmlint",
-						"//mmlint:ignore directive needs a reason"))
-					continue
-				}
-				dirs = append(dirs, directive{
-					file:   pos.Filename,
-					line:   pos.Line,
-					names:  names,
-					reason: strings.Join(fields[1:], " "),
-				})
 			}
 		}
-	}
-	return dirs, bad
-}
-
-// suppressed reports whether a directive on the finding's line, or the line
-// directly above it, names the finding's analyzer (or "all").
-func suppressed(f Finding, dirs []directive) bool {
-	for _, d := range dirs {
-		if d.file != f.File {
-			continue
-		}
-		if d.line != f.Line && d.line != f.Line-1 {
-			continue
-		}
-		if d.names["all"] || d.names[f.Analyzer] {
-			return true
-		}
-	}
-	return false
+	})
+	return p.dirs, p.dirBad
 }
 
 func sortFindings(fs []Finding) {

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// boundedgo: a goroutine launched inside an unbounded loop is an unbounded
+// goroutine count — one per accepted connection, one per work item — and
+// under load that is memory exhaustion with extra scheduling steps.
+// nakedgoroutine checks that goroutines are joined; boundedgo checks that
+// their number is capped. A go statement inside a loop is accepted when the
+// spawn rate is visibly bounded:
+//
+//   - the innermost enclosing loop is a counted worker loop
+//     (for i := 0; i < n; i++ — the DigestAll/evalflow pool idiom), or a
+//     range over an integer or fixed-size array, or
+//   - a channel acquire (semaphore send or token receive) appears in the
+//     loop body lexically before the go statement, so each iteration first
+//     takes a slot that the goroutine releases when done.
+//
+// Everything else — for {}, range over a slice/map/channel with a bare go —
+// is flagged.
+const nameBoundedGo = "boundedgo"
+
+var boundedGoAnalyzer = &Analyzer{
+	Name: nameBoundedGo,
+	Doc:  "goroutine spawned in an unbounded loop without a pool or semaphore bound",
+	Run:  runBoundedGo,
+}
+
+func runBoundedGo(_ *Program, p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		var loops []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+				for _, c := range children(n) {
+					ast.Inspect(c, visit)
+				}
+				loops = loops[:len(loops)-1]
+				return false
+			case *ast.GoStmt:
+				if len(loops) == 0 {
+					return true
+				}
+				loop := loops[len(loops)-1]
+				if p.boundedLoop(loop) || p.acquiresBefore(loop, n.Pos()) {
+					return true
+				}
+				out = append(out, p.findingAt(n.Pos(), nameBoundedGo,
+					"goroutine launched on every iteration of an unbounded loop; spawn a counted worker pool or acquire a semaphore slot before go"))
+				return true
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return out
+}
+
+// children returns a loop's sub-nodes so nesting can be tracked manually.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		for _, c := range []ast.Node{n.Init, n.Cond, n.Post, n.Body} {
+			if c != nil && !isNilNode(c) {
+				out = append(out, c)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, c := range []ast.Node{n.Key, n.Value, n.X, n.Body} {
+			if c != nil && !isNilNode(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// isNilNode guards against typed-nil interface values from the optional
+// ForStmt/RangeStmt fields.
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.BlockStmt:
+		return v == nil
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+// boundedLoop reports whether the loop's iteration count is visibly bounded
+// by a precomputed value: a counted for loop, or a range over an integer or
+// fixed-size array.
+func (p *Package) boundedLoop(loop ast.Node) bool {
+	switch loop := loop.(type) {
+	case *ast.ForStmt:
+		if loop.Cond == nil {
+			return false // for {} spins until break: unbounded
+		}
+		cond, ok := loop.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch cond.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+		default:
+			return false
+		}
+		_, isIncDec := loop.Post.(*ast.IncDecStmt)
+		if assign, isAssign := loop.Post.(*ast.AssignStmt); isAssign {
+			isIncDec = assign.Tok == token.ADD_ASSIGN || assign.Tok == token.SUB_ASSIGN
+		}
+		return isIncDec
+	case *ast.RangeStmt:
+		t := p.Info.TypeOf(loop.X)
+		if t == nil {
+			return false
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Info()&types.IsInteger != 0 // for range n
+		case *types.Array:
+			return true
+		case *types.Pointer:
+			_, isArray := u.Elem().Underlying().(*types.Array)
+			return isArray
+		}
+		return false
+	}
+	return false
+}
+
+// acquiresBefore reports whether a channel operation — a semaphore-style
+// send or a token receive — appears inside the loop body lexically before
+// pos: the iteration blocks on a slot before it spawns.
+func (p *Package) acquiresBefore(loop ast.Node, pos token.Pos) bool {
+	var body *ast.BlockStmt
+	switch loop := loop.(type) {
+	case *ast.ForStmt:
+		body = loop.Body
+	case *ast.RangeStmt:
+		body = loop.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.GoStmt:
+			return false
+		}
+		return !found
+	})
+	return found
+}

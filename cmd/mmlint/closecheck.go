@@ -20,7 +20,7 @@ var closeCheckAnalyzer = &Analyzer{
 	Run:  runCloseCheck,
 }
 
-func runCloseCheck(p *Package) []Finding {
+func runCloseCheck(_ *Program, p *Package) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		readonly := readonlyHandles(p, file)

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // listedPackage is the subset of `go list -json` output mmlint needs.
@@ -25,7 +26,12 @@ type listedPackage struct {
 	Export     string
 	GoFiles    []string
 	DepOnly    bool
+	Module     *listModule
 	Error      *listError
+}
+
+type listModule struct {
+	Path string
 }
 
 type listError struct {
@@ -40,24 +46,33 @@ type Package struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+
+	// Parsed //mmlint:ignore directives, cached because both the analyzers
+	// and the call-graph fact builder consult them.
+	dirOnce sync.Once
+	dirs    []directive
+	dirBad  []Finding
 }
 
 // loadPackages resolves the patterns with `go list -export -deps -json`,
 // then parses and type-checks every matched (non-dependency) package from
 // source. Imports — both standard library and intra-module — are satisfied
 // from the compiler export data go list writes into the build cache, so the
-// loader needs nothing beyond the standard library and the go tool.
-func loadPackages(patterns []string) ([]*Package, error) {
+// loader needs nothing beyond the standard library and the go tool. The
+// second result is the module path of the analyzed packages, which scopes
+// the call graph's in-module reasoning.
+func loadPackages(patterns []string) ([]*Package, string, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+		return nil, "", fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
 	}
 
 	exports := map[string]string{}
+	modulePath := ""
 	var targets []*listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -65,20 +80,23 @@ func loadPackages(patterns []string) ([]*Package, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("decoding go list output: %v", err)
+			return nil, "", fmt.Errorf("decoding go list output: %v", err)
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+			return nil, "", fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly {
+			if modulePath == "" && p.Module != nil {
+				modulePath = p.Module.Path
+			}
 			targets = append(targets, &p)
 		}
 	}
 	if len(targets) == 0 {
-		return nil, fmt.Errorf("no packages matched %v", patterns)
+		return nil, "", fmt.Errorf("no packages matched %v", patterns)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
@@ -95,11 +113,11 @@ func loadPackages(patterns []string) ([]*Package, error) {
 	for _, t := range targets {
 		p, err := checkPackage(fset, imp, t)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		pkgs = append(pkgs, p)
 	}
-	return pkgs, nil
+	return pkgs, modulePath, nil
 }
 
 // checkPackage parses and type-checks one listed package.

@@ -6,13 +6,25 @@
 //	closecheck            Close/Flush/Sync errors on writable handles must
 //	                      be checked (durability of saved models)
 //	panicfree             library packages return errors; only internal/nn
-//	                      and internal/tensor shape checks may panic
+//	                      and internal/tensor shape checks may panic —
+//	                      enforced through the call graph, not just at
+//	                      panic sites
 //	nakedgoroutine        docdb/evalflow goroutines need WaitGroup/channel
 //	                      completion plumbing (leak-free shutdown)
+//	hashpurity            nothing nondeterministic (clocks, math/rand, env,
+//	                      pointer formatting, map order) may reach the
+//	                      digest/serialization entry points
+//	deadlinecheck         every net.Conn read/write in docdb must be
+//	                      preceded by an armed deadline
+//	lockheld              mutexes must not be held across blocking calls
+//	boundedgo             goroutines launched in loops must be bounded by a
+//	                      counted pool or semaphore
+//	deadignore            //mmlint:ignore directives that suppress nothing
+//	                      are themselves findings
 //
 // Usage:
 //
-//	go run ./cmd/mmlint [-json] [packages]
+//	go run ./cmd/mmlint [-json] [-only names] [-skip names] [packages]
 //
 // Findings are suppressed with a justified directive on or directly above
 // the offending line:
@@ -28,16 +40,23 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to disable")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mmlint [-json] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mmlint [-json] [-only names] [-skip names] [packages]\n\nanalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-22s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-22s %s\n", nameDeadIgnore,
+			"suppression directive that no longer matches any finding")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,7 +65,12 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	findings, err := run(patterns)
+	enabled, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmlint:", err)
+		os.Exit(2)
+	}
+	findings, err := run(patterns, enabled)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmlint:", err)
 		os.Exit(2)
@@ -74,16 +98,79 @@ func main() {
 	}
 }
 
-// run loads the packages and produces the sorted, path-relativized list of
-// findings across every analyzer.
-func run(patterns []string) ([]Finding, error) {
-	pkgs, err := loadPackages(patterns)
+// selectAnalyzers resolves the -only/-skip flags into the enabled set.
+// deadignore judgements additionally require every analyzer a directive
+// names to be enabled (see directive.judgeable), so a filtered run cannot
+// misreport a suppression as dead.
+func selectAnalyzers(only, skip string) (map[string]bool, error) {
+	known := selectableNames()
+	parse := func(flagName, v string) (map[string]bool, error) {
+		if v == "" {
+			return nil, nil
+		}
+		out := map[string]bool{}
+		for _, n := range strings.Split(v, ",") {
+			n = strings.TrimSpace(n)
+			if !known[n] {
+				var names []string
+				for k := range known {
+					names = append(names, k)
+				}
+				sort.Strings(names)
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (known: %s)", flagName, n, strings.Join(names, ", "))
+			}
+			out[n] = true
+		}
+		return out, nil
+	}
+	onlySet, err := parse("only", only)
 	if err != nil {
 		return nil, err
 	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	enabled := allEnabled()
+	if onlySet != nil {
+		for n := range enabled {
+			enabled[n] = onlySet[n]
+		}
+	}
+	for n := range skipSet {
+		enabled[n] = false
+	}
+	return enabled, nil
+}
+
+// run loads the packages, builds the shared call graph, and produces the
+// sorted, path-relativized list of findings across every enabled analyzer.
+// Packages are analyzed concurrently; enabled == nil means all analyzers.
+func run(patterns []string, enabled map[string]bool) ([]Finding, error) {
+	if enabled == nil {
+		enabled = allEnabled()
+	}
+	pkgs, modulePath, err := loadPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	prog := buildProgram(pkgs, modulePath)
+	results := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, p := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = runPackage(prog, p, enabled)
+		}(i, p)
+	}
+	wg.Wait()
 	var findings []Finding
-	for _, p := range pkgs {
-		findings = append(findings, runPackage(p)...)
+	for _, fs := range results {
+		findings = append(findings, fs...)
 	}
 	relativize(findings)
 	sortFindings(findings)

@@ -20,6 +20,13 @@ var fixturePackages = []string{
 	"./testdata/src/maprange",
 	"./testdata/src/closecheck",
 	"./testdata/src/panicfree",
+	"./testdata/src/panicchain/depot",
+	"./testdata/src/panicchain/caller",
+	"./testdata/src/hashpurity/clock",
+	"./testdata/src/hashpurity/tensor",
+	"./testdata/src/deadline/docdb",
+	"./testdata/src/lockheld",
+	"./testdata/src/boundedgo",
 	"./testdata/src/internal/nn",
 	"./testdata/src/docdb",
 	"./testdata/src/directives",
@@ -29,7 +36,7 @@ var fixturePackages = []string{
 // TestFixtureFindings locks the exact findings — file:line:col, analyzer
 // name, and message — that the fixture tree produces.
 func TestFixtureFindings(t *testing.T) {
-	findings, err := run(fixturePackages)
+	findings, err := run(fixturePackages, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +62,7 @@ func TestFixtureFindings(t *testing.T) {
 // TestFixtureAnalyzerCoverage asserts every analyzer fires on its own
 // fixture and that each suppressed/clean case stays quiet.
 func TestFixtureAnalyzerCoverage(t *testing.T) {
-	findings, err := run(fixturePackages)
+	findings, err := run(fixturePackages, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +76,13 @@ func TestFixtureAnalyzerCoverage(t *testing.T) {
 	want := map[string]int{
 		nameMapRange:       2,
 		nameCloseCheck:     3,
-		namePanicFree:      1,
+		namePanicFree:      3, // one direct site, one seeded depot panic, one cross-package escape
 		nameNakedGoroutine: 2,
+		nameHashPurity:     5, // clock, rand, %p, env, map order — clock via a cross-package call
+		nameDeadlineCheck:  2, // direct conn.Read, conn handed to an io.Reader parameter
+		nameLockHeld:       3, // sleep, deferred-unlock file I/O, transitive channel receive
+		nameBoundedGo:      2, // range-over-slice spawn, for{} spawn
+		nameDeadIgnore:     1, // well-formed directive matching nothing
 		"mmlint":           2, // malformed directives
 	}
 	for name, n := range want {
@@ -81,13 +93,17 @@ func TestFixtureAnalyzerCoverage(t *testing.T) {
 }
 
 // TestSuppressions checks both directive placements (same line, line
-// above) actually silence findings in the fixtures.
+// above) actually silence findings in the fixtures. mmlint and deadignore
+// findings are themselves anchored at directive lines, so they are skipped.
 func TestSuppressions(t *testing.T) {
-	findings, err := run([]string{"./testdata/src/maprange", "./testdata/src/closecheck", "./testdata/src/panicfree", "./testdata/src/docdb"})
+	findings, err := run(fixturePackages, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range findings {
+		if f.Analyzer == "mmlint" || f.Analyzer == nameDeadIgnore {
+			continue
+		}
 		if f.Line > 0 {
 			src, err := os.ReadFile(f.File)
 			if err != nil {
@@ -103,13 +119,54 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
+// TestAnalyzerFilter checks -only/-skip selection: a skipped analyzer's
+// findings disappear, and deadignore does not misjudge directives whose
+// analyzer did not run.
+func TestAnalyzerFilter(t *testing.T) {
+	enabled, err := selectAnalyzers(nameLockHeld, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := run([]string{"./testdata/src/lockheld", "./testdata/src/boundedgo"}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer != nameLockHeld && f.Analyzer != "mmlint" {
+			t.Errorf("analyzer %s ran despite -only=%s: %s", f.Analyzer, nameLockHeld, f)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("got %d findings under -only=%s, want 3", len(findings), nameLockHeld)
+	}
+
+	enabled, err = selectAnalyzers("", nameBoundedGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err = run([]string{"./testdata/src/boundedgo"}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boundedgo is skipped: its two seeded findings vanish, and the package's
+	// boundedgo suppression must NOT be reported dead — the analyzer it
+	// names did not run.
+	for _, f := range findings {
+		t.Errorf("unexpected finding with boundedgo skipped: %s", f)
+	}
+
+	if _, err := selectAnalyzers("definitely-not-an-analyzer", ""); err == nil {
+		t.Error("want an error for an unknown -only analyzer")
+	}
+}
+
 // TestRepoIsClean is the gate the fixtures exist to protect: the real tree
 // must have zero findings.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads every package in the module")
 	}
-	findings, err := run([]string{"../..."})
+	findings, err := run([]string{"../..."}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,7 @@ var mapRangeAnalyzer = &Analyzer{
 	Run:  runMapRange,
 }
 
-func runMapRange(p *Package) []Finding {
+func runMapRange(_ *Program, p *Package) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

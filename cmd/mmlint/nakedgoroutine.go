@@ -21,7 +21,7 @@ var nakedGoroutineAnalyzer = &Analyzer{
 	Run:  runNakedGoroutine,
 }
 
-func runNakedGoroutine(p *Package) []Finding {
+func runNakedGoroutine(_ *Program, p *Package) []Finding {
 	if !pathHasSegment(p.ImportPath, "docdb") && !pathHasSegment(p.ImportPath, "evalflow") {
 		return nil
 	}

@@ -10,11 +10,17 @@ import (
 // panic() is allowed only in internal/nn and internal/tensor, where shape
 // mismatches are programming errors on the training hot path (the same
 // contract PyTorch has for shape asserts), and in package main binaries.
+//
+// v2 is interprocedural: besides flagging panic sites directly, the analyzer
+// follows the call graph and flags cross-package calls into functions whose
+// panics can escape (no recover on the way, not allowlisted, not covered by
+// a suppression at the panic site). A suppressed panic is a recorded local
+// contract — "this cannot fire" — and therefore does not taint callers.
 const namePanicFree = "panicfree"
 
 var panicFreeAnalyzer = &Analyzer{
 	Name: namePanicFree,
-	Doc:  "panic in a library package outside the internal/nn, internal/tensor allowlist",
+	Doc:  "panic outside the internal/nn, internal/tensor allowlist, or a call that lets one escape",
 	Run:  runPanicFree,
 }
 
@@ -25,11 +31,14 @@ func panicAllowlisted(path string) bool {
 		pathHasSuffixSegments(path, "internal", "tensor")
 }
 
-func runPanicFree(p *Package) []Finding {
+func runPanicFree(prog *Program, p *Package) []Finding {
 	if p.Pkg.Name() == "main" || panicAllowlisted(p.ImportPath) {
 		return nil
 	}
 	var out []Finding
+	// Direct panic sites, from the raw AST: every panic in this package is
+	// reported (and possibly suppressed by its own directive) regardless of
+	// what the call graph thinks.
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -48,6 +57,30 @@ func runPanicFree(p *Package) []Finding {
 				p.ImportPath))
 			return true
 		})
+	}
+	// Cross-package calls into functions whose panics escape. Same-package
+	// escapes are not re-reported: the panic site itself is already the
+	// finding there, and the fix is local.
+	escapes := prog.panicEscapes()
+	for _, f := range prog.pkgFns[p] {
+		if f.recovers {
+			continue // this caller converts panics to errors itself
+		}
+		for _, cs := range f.calls {
+			if cs.async || cs.iface {
+				continue
+			}
+			callee := prog.fns[cs.id]
+			if callee == nil || callee.pkg == p {
+				continue
+			}
+			if escapes[cs.id] == nil {
+				continue
+			}
+			out = append(out, p.findingAt(cs.pos, namePanicFree,
+				"call to %s can panic (%s); recover, or have it return an error",
+				prog.shortID(cs.id), prog.panicDescription(cs.id)))
+		}
 	}
 	return out
 }

@@ -1,0 +1,49 @@
+// Package boundedgo is an mmlint fixture: goroutines launched in loops must
+// have a visible bound on their count.
+package boundedgo
+
+func work(i int) { _ = i }
+
+// PerItem spawns one goroutine per work item — as many goroutines as the
+// caller has items.
+func PerItem(items []int) {
+	for _, it := range items {
+		go work(it)
+	}
+}
+
+// Forever spawns on every spin of an unconditional loop.
+func Forever() {
+	i := 0
+	for {
+		go work(i)
+		i++
+	}
+}
+
+// Pool is the counted worker-loop idiom: clean.
+func Pool(n int) {
+	for i := 0; i < n; i++ {
+		go work(i)
+	}
+}
+
+// Gated acquires a semaphore slot before each spawn: clean.
+func Gated(items []int) {
+	sem := make(chan struct{}, 4)
+	for _, it := range items {
+		sem <- struct{}{}
+		go func(it int) {
+			defer func() { <-sem }()
+			work(it)
+		}(it)
+	}
+}
+
+// Capped documents an out-of-band bound.
+func Capped(items []int) {
+	for _, it := range items {
+		//mmlint:ignore boundedgo fixture: callers never pass more than four items
+		go work(it)
+	}
+}

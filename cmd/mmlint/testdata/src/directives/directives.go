@@ -8,3 +8,9 @@ func A() {}
 
 //mmlint:ignore closecheck
 func B() {}
+
+// C carries a well-formed suppression that matches no finding: the code it
+// once silenced is gone, so deadignore must flag the directive itself.
+//
+//mmlint:ignore closecheck kept after the flush call it covered was removed
+func C() {}

@@ -1,0 +1,22 @@
+// Package clock is an mmlint fixture: a nondeterminism source that taints
+// a digest path only through a cross-package call.
+package clock
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// StampBytes returns the current wall clock as bytes. Harmless on its own —
+// the finding appears because the tensor fixture's Digest feeds these bytes
+// into a hash.
+func StampBytes() []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(time.Now().UnixNano()))
+	return b
+}
+
+// Epoch is a fixed value; reading it is deterministic.
+func Epoch() []byte {
+	return []byte{0, 0, 0, 0, 0, 0, 0, 0}
+}

@@ -1,0 +1,100 @@
+// Package tensor is an mmlint fixture for hashpurity: its path contains the
+// "tensor" segment, so Digest*-named functions are digest entry points and
+// nothing nondeterministic may be reachable from them.
+package tensor
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/cmd/mmlint/testdata/src/hashpurity/clock"
+)
+
+// Digest mixes a wall-clock stamp fetched through another package into the
+// hash — the cross-package taint case: the nondeterminism lives in
+// clock.StampBytes, two hops from the entry point.
+func Digest(data []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(data)
+	h.Write(clock.StampBytes())
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// DigestSalted draws a random salt in the entry point itself.
+func DigestSalted(data []byte) [sha256.Size]byte {
+	var salt [8]byte
+	for i := range salt {
+		salt[i] = byte(rand.Uint64())
+	}
+	h := sha256.New()
+	h.Write(salt[:])
+	h.Write(data)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// DigestTagged hashes a pointer address, which differs per process.
+func DigestTagged(data []byte) [sha256.Size]byte {
+	tag := fmt.Sprintf("%p", &data)
+	h := sha256.New()
+	h.Write([]byte(tag))
+	h.Write(data)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// DigestEnv hashes a value read from the process environment.
+func DigestEnv(data []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(os.Getenv("TENSOR_SEED")))
+	h.Write(data)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// DigestAttrs hashes attributes flattened by a helper whose map iteration
+// order is random. The map range has no syntactic hash sink in flatten, so
+// only the call graph sees that its output is digested.
+func DigestAttrs(data []byte, attrs map[string]string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(flatten(attrs)))
+	h.Write(data)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+func flatten(attrs map[string]string) string {
+	out := ""
+	for k, v := range attrs {
+		out += k + "=" + v + ";"
+	}
+	return out
+}
+
+// DigestStamped carries a justified suppression: the stamp is logged, and a
+// reviewer recorded why the hashed bytes stay deterministic.
+func DigestStamped(data []byte) [sha256.Size]byte {
+	//mmlint:ignore hashpurity fixture: the stamp is only logged below, never written to the hash state
+	stamp := time.Now()
+	_ = stamp
+	h := sha256.New()
+	h.Write(data)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// Observe reads the clock but is reachable from no digest entry point, so
+// hashpurity stays quiet about it.
+func Observe() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,59 @@
+// Package lockheld is an mmlint fixture: mutexes held across blocking
+// operations, directly and through the call graph.
+package lockheld
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Box guards a counter and a result channel.
+type Box struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// SleepUnderLock parks every other acquirer behind a sleep.
+func (b *Box) SleepUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+// ReadUnderDeferredLock holds the lock across file I/O until return.
+func (b *Box) ReadUnderDeferredLock(path string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.ReadFile(path)
+}
+
+// WaitUnderLock blocks on a channel receive hidden in a callee — only the
+// call graph sees that recv blocks.
+func (b *Box) WaitUnderLock() int {
+	b.mu.Lock()
+	v := b.recv()
+	b.mu.Unlock()
+	return v
+}
+
+func (b *Box) recv() int {
+	return <-b.ch
+}
+
+// NarrowRegion unlocks before blocking: clean.
+func (b *Box) NarrowRegion() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// SerializedWrite documents a deliberate hold-across-I/O.
+func (b *Box) SerializedWrite(path string, data []byte) error {
+	//mmlint:ignore lockheld fixture: writes to the shared file must serialize under the lock
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,36 @@
+// Package caller is an mmlint fixture for interprocedural panicfree: it
+// never panics itself, but calls across package boundaries into a function
+// whose panic escapes.
+package caller
+
+import (
+	"fmt"
+
+	"repro/cmd/mmlint/testdata/src/panicchain/depot"
+)
+
+// Lookup lets depot's panic unwind through this package's API.
+func Lookup() int {
+	return depot.MustGet(true)
+}
+
+// LookupSafe uses the error-returning form: clean.
+func LookupSafe() (int, error) {
+	return depot.Get(true)
+}
+
+// LookupGuarded recovers, so the panic cannot cross it: clean.
+func LookupGuarded() (v int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("depot: %v", r)
+		}
+	}()
+	return depot.MustGet(false), nil
+}
+
+// LookupSuppressed documents the invariant that keeps the panic unreachable.
+func LookupSuppressed() int {
+	//mmlint:ignore panicfree fixture: this configuration always stores the value before lookup
+	return depot.MustGet(true)
+}

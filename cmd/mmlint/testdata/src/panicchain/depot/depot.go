@@ -1,0 +1,25 @@
+// Package depot is an mmlint fixture: a library function whose panic
+// escapes to callers in other packages.
+package depot
+
+import "errors"
+
+// ErrMissing reports an absent value.
+var ErrMissing = errors.New("depot: missing")
+
+// MustGet returns the stored value or panics — the contract panicfree
+// forbids in library packages.
+func MustGet(ok bool) int {
+	if !ok {
+		panic("depot: missing")
+	}
+	return 1
+}
+
+// Get is the error-returning form: clean.
+func Get(ok bool) (int, error) {
+	if !ok {
+		return 0, ErrMissing
+	}
+	return 1, nil
+}

@@ -76,14 +76,17 @@ func (m *Manager) Publish(ds *dataset.Dataset) (ref string, dedup bool, err erro
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if e, ok := m.refs[hash]; ok {
-		// Lost the race: another publisher stored it first.
+		// Lost the race: another publisher stored it first. Drop our
+		// duplicate archive after unlocking — deleting a blob is file I/O
+		// and must not serialize every other Publish/Release behind it.
 		e.refCount++
+		m.mu.Unlock()
 		m.files.Delete(blobID)
 		return hash, true, nil
 	}
 	m.refs[hash] = &entry{blobID: blobID, refCount: 1, name: ds.Spec.Name, size: size}
+	m.mu.Unlock()
 	return hash, false, nil
 }
 
@@ -127,16 +130,22 @@ func (m *Manager) AddRef(ref string) error {
 // Release drops one reference; the archive is deleted with the last one.
 func (m *Manager) Release(ref string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e, ok := m.refs[ref]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownRef, ref)
 	}
 	e.refCount--
 	if e.refCount > 0 {
+		m.mu.Unlock()
 		return nil
 	}
 	delete(m.refs, ref)
+	m.mu.Unlock()
+	// The entry is already unpublished; deleting the blob is file I/O and
+	// happens outside the lock. A concurrent Publish of the same content
+	// re-archives under a fresh blob ID, so the unlocked delete cannot race
+	// with a reader of this archive.
 	if err := m.files.Delete(e.blobID); err != nil && !errors.Is(err, filestore.ErrNotFound) {
 		return err
 	}

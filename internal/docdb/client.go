@@ -126,6 +126,7 @@ func (c *Client) attempt(req request) (response, error) {
 }
 
 func (c *Client) roundTrip(req request) (response, error) {
+	//mmlint:ignore lockheld the client is one deliberately serialized connection: retries and reconnects must own it exclusively, and the per-attempt SetDeadline bounds how long the lock is held
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {

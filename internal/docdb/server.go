@@ -5,7 +5,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"time"
 )
 
 // dedupLimit bounds how many insert responses the server remembers for
@@ -52,12 +54,56 @@ func (d *insertDedup) remember(reqID string, r response) {
 	}
 }
 
+// ServerOptions tunes the server's per-connection discipline. The zero
+// value selects the defaults below; the fields exist so tests can shrink
+// the timeouts into test-friendly ranges.
+type ServerOptions struct {
+	// IdleTimeout bounds the wait for the next request frame on an open
+	// connection. A client that stalls mid-request or walks away without
+	// closing gets disconnected instead of pinning a handler goroutine and
+	// a connection slot forever.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds flushing one response frame to a client that has
+	// stopped reading.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections. Accepts beyond the cap
+	// wait in the listener backlog until a slot frees, keeping the
+	// goroutine count bounded no matter how many clients dial.
+	MaxConns int
+}
+
+// Default per-connection discipline: generous enough that no legitimate
+// client (the repo's OpTimeout is seconds) ever hits it, finite so a wedged
+// peer cannot hold resources forever.
+const (
+	defaultIdleTimeout  = 2 * time.Minute
+	defaultWriteTimeout = 30 * time.Second
+	defaultMaxConns     = 256
+)
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = defaultIdleTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.MaxConns <= 0 {
+		o.MaxConns = defaultMaxConns
+	}
+	return o
+}
+
 // Server exposes a Store over TCP using the docdb wire protocol. It plays
 // the role of the dedicated MongoDB machine in the paper's evaluation setup.
 type Server struct {
 	backend Store
 	ln      net.Listener
 	dedup   *insertDedup
+	opts    ServerOptions
+	// sem holds one token per live connection; acquiring before Accept
+	// bounds the handler goroutine count at opts.MaxConns.
+	sem chan struct{}
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -76,11 +122,25 @@ func NewServer(backend Store, addr string) (*Server, error) {
 }
 
 // NewServerOn creates a server backed by the given store serving on an
-// existing listener. It lets callers interpose on the transport — the
-// fault-injection harness wraps the listener so every accepted connection
-// misbehaves on a deterministic schedule.
+// existing listener with default options. It lets callers interpose on the
+// transport — the fault-injection harness wraps the listener so every
+// accepted connection misbehaves on a deterministic schedule.
 func NewServerOn(backend Store, ln net.Listener) *Server {
-	s := &Server{backend: backend, ln: ln, dedup: newInsertDedup(), conns: make(map[net.Conn]struct{})}
+	return NewServerWith(backend, ln, ServerOptions{})
+}
+
+// NewServerWith creates a server on an existing listener with explicit
+// connection-discipline options.
+func NewServerWith(backend Store, ln net.Listener, opts ServerOptions) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		backend: backend,
+		ln:      ln,
+		dedup:   newInsertDedup(),
+		opts:    opts,
+		sem:     make(chan struct{}, opts.MaxConns),
+		conns:   make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -92,6 +152,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
+		// Take a connection slot before accepting: when MaxConns handlers
+		// are live, further dials queue in the listener backlog instead of
+		// spawning goroutines. serveConn returns the slot at teardown.
+		s.sem <- struct{}{}
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
@@ -118,16 +182,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		<-s.sem
 	}()
 	for {
+		// Arm the read deadline per frame, mirroring the client's OpTimeout
+		// discipline (client.go): a peer that stalls mid-frame or idles
+		// forever is cut off instead of pinning this goroutine.
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		var req request
 		if err := readFrame(conn, &req); err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, os.ErrDeadlineExceeded) {
 				log.Printf("docdb: connection error: %v", err)
 			}
 			return
 		}
 		resp := s.handle(req)
+		_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}

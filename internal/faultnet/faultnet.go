@@ -116,6 +116,7 @@ func (c *Conn) breakConn() error {
 // Write delivers b, possibly delayed, torn after a prefix, or dropped
 // entirely with the connection closed.
 func (c *Conn) Write(b []byte) (int, error) {
+	//mmlint:ignore lockheld the injected delay must stall this writer while the fault schedule stays consistent; serializing writes under the lock is the harness's determinism contract
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
