@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/filestore"
 	"repro/internal/tensor"
 )
 
@@ -36,6 +38,11 @@ func main() {
 		outdir   = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
 		frate    = flag.Float64("fault-rate", 0, "per-operation fault probability injected into distributed-flow metadata connections (0 = healthy network)")
 		fseed    = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule (same seed = same faults)")
+		sclients = flag.Int("serve-clients", 0, "concurrent clients of the serve experiment (0 = 100)")
+		sreqs    = flag.Int("serve-requests", 0, "recoveries per serve client (0 = 6)")
+		sinfer   = flag.Int("serve-infer-every", 0, "run an inference every k-th serve request (0 = 3)")
+		mmap     = flag.Bool("mmap", true, "read parameter blobs through memory mappings where the platform supports it (false = plain reads; results are bit-identical either way)")
+		mem      = flag.Bool("mem", false, "report runtime.ReadMemStats deltas (allocated bytes, GC cycles) after each experiment")
 	)
 	flag.Parse()
 
@@ -45,6 +52,7 @@ func main() {
 	if *rworkers > 0 {
 		tensor.SetDecodeWorkers(*rworkers)
 	}
+	filestore.SetMmapEnabled(*mmap)
 
 	if *list {
 		for _, id := range experiments.Order() {
@@ -77,6 +85,9 @@ func main() {
 	opts.FaultSeed = *fseed
 	opts.RecoverCache = *rcache
 	opts.RecoverWorkers = *rworkers
+	opts.ServeClients = *sclients
+	opts.ServeRequests = *sreqs
+	opts.ServeInferEvery = *sinfer
 
 	reg := experiments.Registry()
 	var ids []string
@@ -93,9 +104,21 @@ func main() {
 	}
 
 	for _, id := range ids {
+		var before runtime.MemStats
+		if *mem {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+		}
 		if err := reg[id](os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mmbench: %s: %v\n", id, err)
 			os.Exit(1)
+		}
+		if *mem {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			fmt.Printf("mem %s: %.1f MB allocated, %.1f MB heap live, %d GC cycles\n",
+				id, float64(after.TotalAlloc-before.TotalAlloc)/1e6,
+				float64(after.HeapAlloc)/1e6, after.NumGC-before.NumGC)
 		}
 	}
 }

@@ -101,7 +101,37 @@ func (a *Adaptive) Save(info SaveInfo) (SaveResult, error) {
 // recursion, parameter-update links merge their changed layers into the
 // recovered base, and provenance links re-execute their recorded training.
 func (a *Adaptive) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
-	return a.recover(id, opts, cacheFor(a.cache, opts), a.mpa.newDatasetMemo(), 0)
+	return a.recover(id, opts, cacheFor(a.cache, opts), a.mpa.newDatasetMemo(), 0, false)
+}
+
+var _ StateRecoverer = (*Adaptive)(nil)
+
+// RecoverState implements StateRecoverer. A cache hit for the requested
+// model is O(1); a miss runs the recursive net-level recovery and wraps
+// its result, re-reading only the target's metadata documents.
+func (a *Adaptive) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
+	cache := cacheFor(a.cache, opts)
+	t0 := time.Now()
+	if cache != nil {
+		if cr, ok := cache.Get(id); ok {
+			return stateFromCache(id, cr, opts, RecoverTiming{Load: time.Since(t0)})
+		}
+	}
+	rec, err := a.recover(id, opts, cache, a.mpa.newDatasetMemo(), 0, true)
+	if err != nil {
+		return nil, err
+	}
+	t5 := time.Now()
+	doc, err := getModelDoc(a.stores.Meta, id)
+	if err != nil {
+		return nil, err
+	}
+	env, err := envFromDoc(a.stores.Meta, doc.EnvDocID)
+	if err != nil {
+		return nil, err
+	}
+	rec.Timing.Load += time.Since(t5)
+	return stateOfRecovered(rec, doc, env), nil
 }
 
 // recover is the recursive recovery. The dataset memo is shared across the
@@ -109,9 +139,11 @@ func (a *Adaptive) Recover(id string, opts RecoverOptions) (*RecoveredModel, err
 // cache is consulted at every level and populated only with the requested
 // model (depth 0) — intermediate levels are memoized when they are
 // themselves recovered directly, which is exactly the U4 sweep pattern.
-func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache, dm *datasetMemo, depth int) (*RecoveredModel, error) {
+// leafChecked means the depth-0 caller (RecoverState) already probed the
+// cache for id, so probing again would double-count the miss.
+func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache, dm *datasetMemo, depth int, leafChecked bool) (*RecoveredModel, error) {
 	t0 := time.Now()
-	if cache != nil {
+	if cache != nil && !(depth == 0 && leafChecked) {
 		if cr, ok := cache.Get(id); ok {
 			return rebuildFromCache(id, cr, opts, RecoverTiming{Load: time.Since(t0)})
 		}
@@ -129,7 +161,7 @@ func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache,
 	case doc.BaseID == "":
 		return nil, fmt.Errorf("core: derived model %s has no base reference", id)
 	default:
-		if rec, err = a.recover(doc.BaseID, opts, cache, dm, depth+1); err != nil {
+		if rec, err = a.recover(doc.BaseID, opts, cache, dm, depth+1, false); err != nil {
 			return nil, err
 		}
 		switch {

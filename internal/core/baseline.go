@@ -177,6 +177,15 @@ func (b *Baseline) Recover(id string, opts RecoverOptions) (*RecoveredModel, err
 	return recoverSnapshotCached(b.stores, cacheFor(b.cache, opts), id, opts)
 }
 
+// RecoverState implements StateRecoverer: the state-level recovery the
+// serving tier uses. A cache hit is O(1) — no net instantiation, no
+// clone, no hashing pass (unless the cache is Paranoid).
+func (b *Baseline) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
+	return recoverSnapshotState(b.stores, cacheFor(b.cache, opts), id, opts)
+}
+
+var _ StateRecoverer = (*Baseline)(nil)
+
 // cacheFor resolves the effective cache for one recovery: the service's
 // cache, or nil when the options bypass it.
 func cacheFor(c *RecoveryCache, opts RecoverOptions) *RecoveryCache {
@@ -187,37 +196,16 @@ func cacheFor(c *RecoveryCache, opts RecoverOptions) *RecoveryCache {
 }
 
 // rebuildFromCache turns a cache hit into a RecoveredModel: instantiate
-// the architecture, load the cloned state, reapply freezing. The cache
-// already re-verified the stored state's integrity on the hit; under
-// VerifyChecksums the rebuilt net is additionally re-hashed against the
-// document checksum recorded at insert, exactly like the uncached path.
+// the architecture, load the shared state (LoadInto copies, so the net
+// never aliases the cache), reapply freezing. Checksum verification on a
+// hit is the O(1) insert-hash comparison; per-hit re-hashing of the
+// stored bytes is the Paranoid cache's job, inside Get itself.
 func rebuildFromCache(id string, cr CachedRecovery, opts RecoverOptions, timing RecoverTiming) (*RecoveredModel, error) {
-	t1 := time.Now()
-	net, err := models.Instantiate(cr.Spec)
+	rs, err := stateFromCache(id, cr, opts, timing)
 	if err != nil {
 		return nil, err
 	}
-	if err := cr.State.LoadInto(net); err != nil {
-		return nil, fmt.Errorf("core: restoring cached parameters for %s: %w", id, err)
-	}
-	restoreTrainable(net, cr.TrainablePrefixes)
-	timing.Recover += time.Since(t1)
-
-	if opts.CheckEnv {
-		t2 := time.Now()
-		if err := environment.Check(cr.Env); err != nil {
-			return nil, err
-		}
-		timing.CheckEnv += time.Since(t2)
-	}
-	if opts.VerifyChecksums && cr.StateHash != "" {
-		t3 := time.Now()
-		if got := nn.StateDictOf(net).Hash(); got != cr.StateHash {
-			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
-		}
-		timing.Verify += time.Since(t3)
-	}
-	return &RecoveredModel{ID: id, Spec: cr.Spec, Net: net, BaseID: cr.BaseID, Timing: timing}, nil
+	return modelFromState(rs)
 }
 
 // recoverSnapshot rebuilds a model from a full snapshot document. It is
@@ -230,16 +218,31 @@ func recoverSnapshot(stores Stores, id string, opts RecoverOptions) (*RecoveredM
 // cache: a hit skips the store entirely; a miss loads code and parameter
 // blobs concurrently, recovers, and populates the cache.
 func recoverSnapshotCached(stores Stores, cache *RecoveryCache, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	rs, err := recoverSnapshotState(stores, cache, id, opts)
+	if err != nil {
+		return nil, err
+	}
+	return modelFromState(rs)
+}
+
+// recoverSnapshotState is the state-level snapshot recovery. A cache hit
+// returns a shared view without touching the store. A miss opens the
+// parameter blob mapped (mmap when available — the bytes page in lazily
+// and tensor data aliases the mapping instead of being copied out),
+// decodes, seals, verifies the checksum once, and populates the cache
+// zero-copy; the caller receives a copy-on-write view of the same sealed
+// state.
+func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts RecoverOptions) (*RecoveredState, error) {
 	var timing RecoverTiming
 
 	// Load: documents and file bytes. A cache hit stands in for the whole
-	// load phase; on a miss the two blob reads run concurrently while the
-	// environment document round-trips.
+	// load phase; on a miss the code read and the parameter mapping run
+	// concurrently while the environment document round-trips.
 	t0 := time.Now()
 	if cache != nil {
 		if cr, ok := cache.Get(id); ok {
 			timing.Load = time.Since(t0)
-			return rebuildFromCache(id, cr, opts, timing)
+			return stateFromCache(id, cr, opts, timing)
 		}
 	}
 	doc, err := getModelDoc(stores.Meta, id)
@@ -250,7 +253,7 @@ func recoverSnapshotCached(stores Stores, cache *RecoveryCache, id string, opts 
 		return nil, fmt.Errorf("core: model %s has no parameter snapshot (approach %s)", id, doc.Approach)
 	}
 	codeF := fetchBlob(stores.Files, doc.CodeFileRef)
-	paramsF := fetchBlob(stores.Files, doc.ParamsFileRef)
+	paramsF := fetchMapped(stores.Files, doc.ParamsFileRef)
 	env, err := envFromDoc(stores.Meta, doc.EnvDocID)
 	if err != nil {
 		return nil, err
@@ -259,31 +262,23 @@ func recoverSnapshotCached(stores Stores, cache *RecoveryCache, id string, opts 
 	if err != nil {
 		return nil, fmt.Errorf("core: loading model code: %w", err)
 	}
-	paramBytes, err := paramsF.wait()
+	params, err := paramsF.wait()
 	if err != nil {
 		return nil, fmt.Errorf("core: loading parameters %s: %w", doc.ParamsFileRef, err)
 	}
 	timing.Load = time.Since(t0)
 
-	// Recover: deserialize (parallel tensor decode), build the
-	// architecture, restore state.
+	// Recover: deserialize (parallel tensor decode, or zero-copy aliasing
+	// over the mapping) and parse the architecture.
 	t1 := time.Now()
 	spec, err := models.ParseSpec(codeBytes)
 	if err != nil {
 		return nil, err
 	}
-	sd, err := nn.ReadStateDictBytes(paramBytes)
+	sd, err := nn.ReadStateDictMapped(params.Bytes(), params)
 	if err != nil {
 		return nil, err
 	}
-	net, err := models.Instantiate(spec)
-	if err != nil {
-		return nil, err
-	}
-	if err := sd.LoadInto(net); err != nil {
-		return nil, fmt.Errorf("core: restoring parameters: %w", err)
-	}
-	restoreTrainable(net, doc.TrainablePrefixes)
 	timing.Recover = time.Since(t1)
 
 	// Check environment.
@@ -295,28 +290,46 @@ func recoverSnapshotCached(stores Stores, cache *RecoveryCache, id string, opts 
 		timing.CheckEnv = time.Since(t2)
 	}
 
-	// Verify parameters were recovered correctly. Hash re-digests every
-	// tensor with the parallel worker pool (tensor.SetWorkers), which is
-	// what keeps the Figure-12 "verify" bucket small; the attribution into
-	// load/recover/check-env/verify is unchanged.
+	// Seal before verifying when the state is about to be cached: sealing
+	// computes the per-entry digests with the parallel worker pool, and
+	// both the checksum below and the cache's insert hash reuse that one
+	// pass (previously the verify and the insert each paid their own).
+	if cache != nil {
+		t4 := time.Now()
+		sd.Seal()
+		timing.Recover += time.Since(t4)
+	}
+
+	// Verify the decoded state against the stored checksum. The hash of
+	// the serialized-order dict is identical to the hash of the
+	// instantiated net's dict (same keys, same order, same bytes), so
+	// verification no longer needs a net at all.
 	if opts.VerifyChecksums && doc.StateHash != "" {
 		t3 := time.Now()
-		if got := nn.StateDictOf(net).Hash(); got != doc.StateHash {
+		if got := sd.Hash(); got != doc.StateHash {
 			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
 		}
 		timing.Verify = time.Since(t3)
 	}
 
+	state := sd
 	if cache != nil {
 		t4 := time.Now()
 		cache.Put(id, CachedRecovery{
 			Spec: spec, BaseID: doc.BaseID, State: sd, Env: env,
 			TrainablePrefixes: doc.TrainablePrefixes, StateHash: doc.StateHash,
 		})
+		// Hand the caller a view, not the cached dict itself: mutating
+		// the owner in place would be visible through the cache.
+		state = sd.Share()
 		timing.Recover += time.Since(t4)
 	}
 
-	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: doc.BaseID, Timing: timing}, nil
+	return &RecoveredState{
+		ID: id, Spec: spec, State: state, BaseID: doc.BaseID, Env: env,
+		TrainablePrefixes: doc.TrainablePrefixes, StateHash: doc.StateHash,
+		Timing: timing,
+	}, nil
 }
 
 // restoreTrainable reapplies the recorded layer freezing.

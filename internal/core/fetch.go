@@ -46,6 +46,14 @@ func fetchBlob(files *filestore.Store, id string) *fetch[[]byte] {
 	return goFetch(func() ([]byte, error) { return files.ReadAll(id) })
 }
 
+// fetchMapped starts an asynchronous mapped open of a file-store blob —
+// the parameter-blob path: when mmap is available the "load" is O(1) and
+// the bytes page in lazily as decoding (or aliased tensors) touch them;
+// otherwise the blob is read fully, like fetchBlob.
+func fetchMapped(files *filestore.Store, id string) *fetch[*filestore.Mapping] {
+	return goFetch(func() (*filestore.Mapping, error) { return files.OpenMapped(id) })
+}
+
 // fetchEnv starts an asynchronous load of an environment document.
 func fetchEnv(meta docdb.Store, id string) *fetch[environment.Info] {
 	return goFetch(func() (environment.Info, error) { return envFromDoc(meta, id) })

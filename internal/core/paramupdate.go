@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/environment"
+	"repro/internal/filestore"
 	"repro/internal/merkle"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -197,6 +198,21 @@ func toLeaves(hashes []nn.KeyHash) []merkle.Leaf {
 // ancestor: a leaf hit skips the store entirely, a mid-chain hit merges
 // only the suffix of updates onto the cached state.
 func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	rs, err := p.RecoverState(id, opts)
+	if err != nil {
+		return nil, err
+	}
+	return modelFromState(rs)
+}
+
+var _ StateRecoverer = (*ParamUpdate)(nil)
+
+// RecoverState implements StateRecoverer: the chain walk of Recover at
+// the state level. A leaf cache hit is O(1); a miss maps every parameter
+// blob (tensor data aliases the mappings where alignment allows), merges
+// updates root-to-leaf, seals the result, verifies the checksum once, and
+// populates the cache zero-copy.
+func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
 	cache := cacheFor(p.cache, opts)
 	var timing RecoverTiming
 
@@ -205,7 +221,7 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 	type link struct {
 		id     string
 		doc    modelDoc
-		params *fetch[[]byte]
+		params *fetch[*filestore.Mapping]
 		code   *fetch[[]byte]
 		env    *fetch[environment.Info]
 	}
@@ -218,7 +234,7 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 			if cr, ok := cache.Get(cur); ok {
 				if len(chain) == 0 {
 					timing.Load = time.Since(t0)
-					return rebuildFromCache(id, cr, opts, timing)
+					return stateFromCache(id, cr, opts, timing)
 				}
 				cached = &cr
 				break
@@ -231,7 +247,7 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 		l := link{id: cur, doc: doc}
 		l.env = fetchEnv(p.stores.Meta, doc.EnvDocID)
 		if doc.ParamsFileRef != "" {
-			l.params = fetchBlob(p.stores.Files, doc.ParamsFileRef)
+			l.params = fetchMapped(p.stores.Files, doc.ParamsFileRef)
 		}
 		if doc.CodeFileRef != "" {
 			l.code = fetchBlob(p.stores.Files, doc.CodeFileRef)
@@ -247,7 +263,7 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 	}
 
 	// Collect the in-flight fetches; this closes the load bucket.
-	params := make([][]byte, len(chain))
+	params := make([]*filestore.Mapping, len(chain))
 	var rootCode []byte
 	var targetEnv environment.Info
 	for i, l := range chain {
@@ -272,14 +288,14 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 	timing.Load = time.Since(t0)
 
 	// Recover: deserialize the snapshot (or start from the cached
-	// ancestor's state), then merge updates root-to-leaf.
+	// ancestor's shared state), then merge updates root-to-leaf. Merge
+	// shares tensors — from the mappings and from the cached ancestor —
+	// which is safe because every shared source is immutable.
 	t1 := time.Now()
 	var spec models.Spec
 	var state *nn.StateDict
 	start := len(chain) - 1
 	if cached != nil {
-		// cached.State is Get's private clone; Merge may share its tensors
-		// into the result, which stays private to this recovery.
 		spec, state = cached.Spec, cached.State
 	} else {
 		var err error
@@ -287,28 +303,20 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 		if err != nil {
 			return nil, err
 		}
-		state, err = nn.ReadStateDictBytes(params[start])
+		state, err = nn.ReadStateDictMapped(params[start].Bytes(), params[start])
 		if err != nil {
 			return nil, err
 		}
 		start--
 	}
 	for i := start; i >= 0; i-- {
-		update, err := nn.ReadStateDictBytes(params[i])
+		update, err := nn.ReadStateDictMapped(params[i].Bytes(), params[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: reading update %s: %w", chain[i].id, err)
 		}
 		state = nn.Merge(state, update)
 	}
-	net, err := models.Instantiate(spec)
-	if err != nil {
-		return nil, err
-	}
-	if err := state.LoadInto(net); err != nil {
-		return nil, fmt.Errorf("core: restoring merged parameters: %w", err)
-	}
 	target := chain[0]
-	restoreTrainable(net, target.doc.TrainablePrefixes)
 	timing.Recover = time.Since(t1)
 
 	if opts.CheckEnv {
@@ -318,21 +326,35 @@ func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, 
 		}
 		timing.CheckEnv = time.Since(t2)
 	}
+
+	// Seal before verifying when caching: one digest pass serves the
+	// checksum below and the cache's insert hash.
+	if cache != nil {
+		t4 := time.Now()
+		state.Seal()
+		timing.Recover += time.Since(t4)
+	}
 	if opts.VerifyChecksums && target.doc.StateHash != "" {
 		t3 := time.Now()
-		if got := nn.StateDictOf(net).Hash(); got != target.doc.StateHash {
+		if got := state.Hash(); got != target.doc.StateHash {
 			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
 		}
 		timing.Verify = time.Since(t3)
 	}
 
+	out := state
 	if cache != nil {
 		t4 := time.Now()
 		cache.Put(id, CachedRecovery{
 			Spec: spec, BaseID: target.doc.BaseID, State: state, Env: targetEnv,
 			TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
 		})
+		out = state.Share()
 		timing.Recover += time.Since(t4)
 	}
-	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: target.doc.BaseID, Timing: timing}, nil
+	return &RecoveredState{
+		ID: id, Spec: spec, State: out, BaseID: target.doc.BaseID, Env: targetEnv,
+		TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
+		Timing: timing,
+	}, nil
 }

@@ -244,10 +244,11 @@ func saveDatasetArchive(stores Stores, ds *dataset.Dataset) (string, int64, erro
 	return id, size, nil
 }
 
-// Recover implements SaveService. Recovery walks the base chain down to the
-// snapshot root, recovers the root model, and then reproduces each training
-// step in order — the recursive process of Section 3.3, with training in
-// place of parameter merging.
+// Recover implements SaveService by instantiating RecoverState's result.
+// Recovery walks the base chain down to the snapshot root, recovers the
+// root model, and then reproduces each training step in order — the
+// recursive process of Section 3.3, with training in place of parameter
+// merging.
 //
 // The load side is pipelined: each link's dataset archive, optimizer
 // state, and environment document start fetching the moment its documents
@@ -258,8 +259,30 @@ func saveDatasetArchive(stores Stores, ds *dataset.Dataset) (string, int64, erro
 // it — for MPA this is the difference between re-executing the whole
 // history and re-executing one link.
 func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
+	rs, err := p.RecoverState(id, opts)
+	if err != nil {
+		return nil, err
+	}
+	return modelFromState(rs)
+}
+
+var _ StateRecoverer = (*Provenance)(nil)
+
+// RecoverState implements StateRecoverer. A cache hit for the requested
+// model is O(1) — no training replay, no net. A miss replays the chain
+// onto a scratch net, then transfers the net's state into the cache
+// zero-copy (the net is discarded, so no clone is needed) and returns a
+// shared view of it.
+func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
 	cache := cacheFor(p.cache, opts)
 	var timing RecoverTiming
+	t0 := time.Now()
+	if cache != nil {
+		if cr, ok := cache.Get(id); ok {
+			timing.Load = time.Since(t0)
+			return stateFromCache(id, cr, opts, timing)
+		}
+	}
 
 	type link struct {
 		id       string
@@ -271,19 +294,15 @@ func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, e
 	}
 
 	// Load phase: walk the documents, launching artifact fetches as their
-	// references appear.
-	t0 := time.Now()
+	// references appear. The requested model itself was already probed
+	// above, so the cache check applies to ancestors only.
 	dm := p.newDatasetMemo()
 	var chain []link
 	var cached *CachedRecovery // cached ancestor that terminated the walk
 	cur := id
 	for {
-		if cache != nil {
+		if cache != nil && len(chain) > 0 {
 			if cr, ok := cache.Get(cur); ok {
-				if len(chain) == 0 {
-					timing.Load = time.Since(t0)
-					return rebuildFromCache(id, cr, opts, timing)
-				}
 				cached = &cr
 				break
 			}
@@ -400,15 +419,26 @@ func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, e
 	}
 
 	target := chain[0]
+	state := nn.StateDictOf(net)
+	out := state
 	if cache != nil {
 		t4 := time.Now()
+		// The scratch net is discarded here — the caller receives the state,
+		// and Recover instantiates its own net from it — so the net's dict
+		// transfers into the cache zero-copy: seal, insert, share.
+		state.Seal()
 		cache.Put(id, CachedRecovery{
-			Spec: spec, BaseID: target.doc.BaseID, State: nn.StateDictOf(net), Env: envs[0],
+			Spec: spec, BaseID: target.doc.BaseID, State: state, Env: envs[0],
 			TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
 		})
+		out = state.Share()
 		timing.Recover += time.Since(t4)
 	}
-	return &RecoveredModel{ID: id, Spec: spec, Net: net, BaseID: target.doc.BaseID, Timing: timing}, nil
+	return &RecoveredState{
+		ID: id, Spec: spec, State: out, BaseID: target.doc.BaseID, Env: envs[0],
+		TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
+		Timing: timing,
+	}, nil
 }
 
 // applyTrainingLink loads one provenance link's service document, dataset,

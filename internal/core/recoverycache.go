@@ -17,27 +17,32 @@ import (
 // lineage-aware caching MGit applies to the same derivation-chain shape).
 //
 // Safety is non-negotiable — the stores' whole point is exact recovery —
-// so the cache never shares tensors with callers and never trusts its own
-// memory blindly:
+// but as of the serving-tier work it no longer costs O(model size) per
+// hit. Cached states are sealed (immutable with copy-on-write mutation,
+// nn.StateDict.Seal), so:
 //
-//   - Entries are deep-cloned on insert and again on every hit, so a
-//     caller mutating a recovered net (training on it, say) can never
-//     corrupt the cached state, and two hits never alias.
-//   - Every entry records the content hash of its state at insert time and
-//     re-hashes the stored tensors on every hit (verification-on-hit,
-//     computed fresh, never from a digest cache). A mismatch drops the
-//     entry and reports a miss, so a corrupted cache degrades to the
-//     uncached path instead of propagating wrong parameters.
+//   - Get hands out an O(1) Share view instead of a deep clone. A caller
+//     mutating its recovered state through the dict API detaches the view
+//     and copies only the touched tensors; the cached copy and every
+//     other view are structurally unreachable from the mutation.
+//   - The state's content hash is verified once, at insert. The default
+//     cache trusts sealed immutability afterwards; a Paranoid cache
+//     additionally re-hashes the stored tensor bytes on every hit
+//     (nn.StateDict.HashFresh, bypassing the sealed digest cache), so
+//     even out-of-contract raw-memory corruption degrades to a miss
+//     instead of propagating wrong parameters. Fault-injection tests run
+//     Paranoid; serving runs the default.
 //
 // The cache is bounded by the approximate in-memory size of its state
 // dicts and evicts least-recently-used entries. All methods are safe for
-// concurrent use; clone and hash passes run outside the lock (entries are
-// immutable once inserted), so concurrent recoveries only serialize on the
-// index bookkeeping.
+// concurrent use; hash passes run outside the lock (entries are immutable
+// once inserted), so concurrent recoveries only serialize on the index
+// bookkeeping.
 type RecoveryCache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	curBytes int64
+	paranoid bool
 	entries  map[string]*cacheEntry
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	stats    RecoveryCacheStats
@@ -46,15 +51,16 @@ type RecoveryCache struct {
 // cacheEntry is immutable after insertion.
 type cacheEntry struct {
 	id    string
-	rec   CachedRecovery // rec.State is the cache's private clone
+	rec   CachedRecovery // rec.State is sealed and owned by the cache
 	hash  string         // rec.State.Hash() at insert time
 	bytes int64
 	elem  *list.Element
 }
 
-// CachedRecovery is the cacheable portion of a recovered model. State is
-// always a private deep copy: Put clones what it is given, Get clones what
-// it returns.
+// CachedRecovery is the cacheable portion of a recovered model. The State
+// a caller receives from Get is an O(1) copy-on-write view of the cache's
+// sealed dict; the State a caller passes to Put is taken zero-copy when
+// already sealed and deep-cloned otherwise.
 type CachedRecovery struct {
 	// Spec is the architecture, so a hit rebuilds the net without walking
 	// to the chain's snapshot root for the model code.
@@ -70,22 +76,33 @@ type CachedRecovery struct {
 	TrainablePrefixes []string
 	// StateHash is the checksum stored in the model's document ("" when it
 	// was saved without checksums). A hit under VerifyChecksums compares
-	// it against the entry's insert-time hash.
+	// it against VerifiedHash.
 	StateHash string
+	// VerifiedHash is the content hash the cache computed from the state
+	// at insert time. Get fills it in, making checksum verification on a
+	// hit an O(1) string compare instead of a hashing pass; a Paranoid
+	// cache has additionally just re-derived it from the stored bytes.
+	VerifiedHash string
 }
 
 // RecoveryCacheStats counts cache traffic.
 type RecoveryCacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Puts      uint64
-	Evictions uint64
-	// Corrupt counts hits rejected by verification: the stored state no
-	// longer hashed to its insert-time hash.
-	Corrupt uint64
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// Corrupt counts hits rejected by Paranoid verification: the stored
+	// state no longer hashed to its insert-time hash.
+	Corrupt uint64 `json:"corrupt"`
+	// CowHits counts hits whose shared state was later mutated by its
+	// caller, firing the copy-on-write detach.
+	CowHits uint64 `json:"cow_hits"`
+	// SharedHits (derived: Hits - CowHits) counts hits whose handed-out
+	// state stayed a zero-copy view for its whole lifetime so far.
+	SharedHits uint64 `json:"shared_hits"`
 	// Entries and Bytes describe current occupancy.
-	Entries int
-	Bytes   int64
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
 }
 
 // DefaultRecoveryCacheBytes is the bound NewRecoveryCache applies when
@@ -106,7 +123,25 @@ func NewRecoveryCache(maxBytes int64) *RecoveryCache {
 	}
 }
 
-// Get returns a private copy of the cached recovery for id. The stored
+// NewParanoidRecoveryCache creates a cache that re-hashes every entry's
+// stored tensor bytes on every hit (verification-on-hit, computed fresh,
+// never from a digest cache) and drops entries that no longer match their
+// insert-time hash. This is the pre-serving-tier safety posture: O(model
+// size) per hit, but immune even to direct in-memory corruption of cached
+// tensor data, which sealed dicts forbid but cannot physically prevent.
+// Fault-injection tests want it; serving does not.
+func NewParanoidRecoveryCache(maxBytes int64) *RecoveryCache {
+	c := NewRecoveryCache(maxBytes)
+	c.paranoid = true
+	return c
+}
+
+// Paranoid reports whether the cache verifies entries on every hit.
+func (c *RecoveryCache) Paranoid() bool { return c.paranoid }
+
+// Get returns the cached recovery for id. The returned State is an O(1)
+// copy-on-write view of the cache's sealed dict — mutating it through the
+// dict API can never reach the cached copy. Under Paranoid the stored
 // state is re-hashed first; on a mismatch the entry is dropped and Get
 // reports a miss.
 func (c *RecoveryCache) Get(id string) (CachedRecovery, bool) {
@@ -120,18 +155,31 @@ func (c *RecoveryCache) Get(id string) (CachedRecovery, bool) {
 	c.lru.MoveToFront(e.elem)
 	c.mu.Unlock()
 
-	// Verification-on-hit, outside the lock: entries are immutable, and
-	// the entry's state has no digest cache, so Hash re-reads every byte.
-	if e.rec.State.Hash() != e.hash {
-		c.drop(e)
-		return CachedRecovery{}, false
+	if c.paranoid {
+		// Verification-on-hit, outside the lock: HashFresh bypasses the
+		// sealed dict's digest cache and re-reads every tensor byte, so
+		// corruption of the raw cached data cannot hide behind the
+		// digests computed at insert time.
+		if e.rec.State.HashFresh() != e.hash {
+			c.drop(e)
+			return CachedRecovery{}, false
+		}
 	}
 	out := e.rec
-	out.State = e.rec.State.Clone()
+	out.VerifiedHash = e.hash
+	out.State = e.rec.State.Share()
+	out.State.OnDetach(c.noteCow)
 	c.mu.Lock()
 	c.stats.Hits++
 	c.mu.Unlock()
 	return out, true
+}
+
+// noteCow counts a shared hit whose caller mutated its view.
+func (c *RecoveryCache) noteCow() {
+	c.mu.Lock()
+	c.stats.CowHits++
+	c.mu.Unlock()
 }
 
 // drop removes a corrupted entry (if still present) and counts it.
@@ -145,9 +193,13 @@ func (c *RecoveryCache) drop(e *cacheEntry) {
 	}
 }
 
-// Put inserts a private copy of rec under id, evicting least-recently-used
-// entries until the bound holds. A state larger than the whole bound is
-// not cached. Put never retains rec.State.
+// Put inserts rec under id, evicting least-recently-used entries until
+// the bound holds. A state larger than the whole bound is not cached. An
+// already-sealed state is taken zero-copy — the recovery paths seal their
+// freshly decoded states exactly so the insert costs one digest pass and
+// no clone; an unsealed state (a live net's dict, as the provenance and
+// adaptive approaches cache) is deep-cloned first because its caller may
+// keep mutating it.
 func (c *RecoveryCache) Put(id string, rec CachedRecovery) {
 	if rec.State == nil {
 		return
@@ -156,9 +208,15 @@ func (c *RecoveryCache) Put(id string, rec CachedRecovery) {
 	if size > c.maxBytes {
 		return
 	}
-	// Clone and hash outside the lock; both are full passes over the
-	// state and must not serialize concurrent recoveries.
-	rec.State = rec.State.Clone()
+	// Clone (when needed), seal, and hash outside the lock; these are the
+	// passes over the state and must not serialize concurrent recoveries.
+	// Seal computes the per-entry digests once; the insert hash below
+	// reuses them.
+	if !rec.State.Sealed() {
+		rec.State = rec.State.Clone()
+	}
+	rec.State.Seal()
+	rec.VerifiedHash = "" // belongs to Get's output, not the stored entry
 	e := &cacheEntry{id: id, rec: rec, hash: rec.State.Hash(), bytes: size}
 
 	c.mu.Lock()
@@ -192,6 +250,7 @@ func (c *RecoveryCache) Stats() RecoveryCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
+	s.SharedHits = s.Hits - s.CowHits
 	s.Entries = len(c.entries)
 	s.Bytes = c.curBytes
 	return s

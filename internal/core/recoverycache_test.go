@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/environment"
+	"repro/internal/filestore"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/train"
@@ -22,24 +23,34 @@ func testCachedRecovery(t *testing.T, seed uint64) CachedRecovery {
 	}
 }
 
-func TestRecoveryCacheCloneIsolation(t *testing.T) {
+func TestRecoveryCacheCowIsolation(t *testing.T) {
 	c := NewRecoveryCache(0)
 	rec := testCachedRecovery(t, 1)
+	key := rec.State.Entries()[0].Key
 	orig := rec.State.Clone()
 
 	c.Put("m1", rec)
-	// Mutating what was passed to Put must not affect the cache.
+	// The Put argument was unsealed, so the cache cloned it: mutating it
+	// afterwards must not affect the cache.
 	rec.State.Entries()[0].Tensor.Data()[0] += 100
 
 	got, ok := c.Get("m1")
 	if !ok {
 		t.Fatal("expected hit")
 	}
+	if !got.State.Sealed() {
+		t.Fatal("Get must hand out a sealed view")
+	}
 	if !got.State.Equal(orig) {
 		t.Fatal("cached state was corrupted by mutating the Put argument")
 	}
-	// Mutating what Get returned must not affect later hits.
-	got.State.Entries()[0].Tensor.Data()[0] += 100
+	// Mutating what Get returned — through the dict API — detaches the
+	// view copy-on-write and must not affect later hits.
+	w, ok := got.State.MutableTensor(key)
+	if !ok {
+		t.Fatalf("missing %q", key)
+	}
+	w.Data()[0] += 100
 	again, ok := c.Get("m1")
 	if !ok {
 		t.Fatal("expected second hit")
@@ -50,6 +61,35 @@ func TestRecoveryCacheCloneIsolation(t *testing.T) {
 	s := c.Stats()
 	if s.Hits != 2 || s.Puts != 1 || s.Entries != 1 {
 		t.Fatalf("stats = %+v", s)
+	}
+	if s.CowHits != 1 || s.SharedHits != 1 {
+		t.Fatalf("COW accounting: %+v", s)
+	}
+}
+
+func TestRecoveryCachePutSealedIsZeroCopy(t *testing.T) {
+	c := NewRecoveryCache(0)
+	rec := testCachedRecovery(t, 2)
+	sealed := rec.State.Seal()
+	c.Put("m1", rec)
+
+	c.mu.Lock()
+	stored := c.entries["m1"].rec.State
+	c.mu.Unlock()
+	if stored != sealed {
+		t.Fatal("Put must take an already-sealed state without cloning")
+	}
+	// Get must still not hand out the owner itself: detaching the owner
+	// would mutate the dict the cache holds.
+	got, ok := c.Get("m1")
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if got.State == sealed {
+		t.Fatal("Get must return a view, not the cached owner")
+	}
+	if got.VerifiedHash == "" || got.VerifiedHash != got.StateHash {
+		t.Fatalf("VerifiedHash = %q, StateHash = %q", got.VerifiedHash, got.StateHash)
 	}
 }
 
@@ -86,7 +126,14 @@ func TestRecoveryCacheEviction(t *testing.T) {
 }
 
 func TestRecoveryCacheCorruptHitDropsEntry(t *testing.T) {
-	c := NewRecoveryCache(0)
+	// Direct writes into a sealed dict's tensor data are out of contract —
+	// sealing cannot physically prevent them — so only a Paranoid cache
+	// (verification on every hit, hashed fresh from the bytes) catches
+	// them. The default cache would serve the corrupted entry.
+	c := NewParanoidRecoveryCache(0)
+	if !c.Paranoid() {
+		t.Fatal("expected a paranoid cache")
+	}
 	c.Put("m1", testCachedRecovery(t, 1))
 
 	// Corrupt the cache's private copy behind its back.
@@ -311,10 +358,16 @@ func TestCachedRecoveryArtifactIdentityAdaptiveMixedChain(t *testing.T) {
 
 func TestBaselineChecksumDetectsCorruptedCacheState(t *testing.T) {
 	// End to end: a corrupted cache entry must degrade to the uncached
-	// path, never serve wrong parameters.
+	// path, never serve wrong parameters. Corruption is injected by
+	// writing into the cached tensors directly, so mmap must be off (the
+	// cached state would otherwise alias a read-only mapping and the
+	// write would fault instead of corrupting) and the cache must be
+	// Paranoid (the default cache trusts sealed immutability).
 	stores := testStores(t)
+	filestore.SetMmapEnabled(false)
+	t.Cleanup(func() { filestore.SetMmapEnabled(true) })
 	ba := NewBaseline(stores)
-	cache := NewRecoveryCache(0)
+	cache := NewParanoidRecoveryCache(0)
 	ba.SetRecoveryCache(cache)
 	net := tinyNet(t, 9)
 	res, err := ba.Save(SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})

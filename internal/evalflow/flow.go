@@ -100,6 +100,11 @@ type Config struct {
 	// RecoveryCacheBytes bounds the recovery cache (<= 0 selects the
 	// default bound).
 	RecoveryCacheBytes int64
+	// ParanoidCache makes the recovery cache re-hash every entry's stored
+	// bytes on each hit instead of trusting sealed immutability — the
+	// fault-injection posture: O(model size) per hit, but even direct
+	// in-memory corruption of cached tensors degrades to a miss.
+	ParanoidCache bool
 	// RecoverConcurrency runs the U4 sweep on this many concurrent
 	// workers (<= 1 = sequential, the default). Measured per-recovery
 	// timings then overlap, so use concurrency for throughput runs and
@@ -151,6 +156,10 @@ type Measurement struct {
 type Result struct {
 	Config       Config
 	Measurements []Measurement
+	// CacheStats snapshots the recovery cache after the U4 sweep (nil when
+	// the flow ran without a cache): hits vs misses, shared vs COW'd hits,
+	// Paranoid corruption drops, and final occupancy.
+	CacheStats *core.RecoveryCacheStats
 }
 
 // newService builds the approach's save service.
@@ -192,9 +201,15 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cache *core.RecoveryCache
 	if cfg.UseRecoveryCache {
 		if rc, ok := serverSvc.(core.RecoveryCacher); ok {
-			rc.SetRecoveryCache(core.NewRecoveryCache(cfg.RecoveryCacheBytes))
+			if cfg.ParanoidCache {
+				cache = core.NewParanoidRecoveryCache(cfg.RecoveryCacheBytes)
+			} else {
+				cache = core.NewRecoveryCache(cfg.RecoveryCacheBytes)
+			}
+			rc.SetRecoveryCache(cache)
 		}
 	}
 
@@ -259,6 +274,10 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 		if err := runU4(serverSvc, cfg, res.Measurements); err != nil {
 			return nil, err
 		}
+	}
+	if cache != nil {
+		s := cache.Stats()
+		res.CacheStats = &s
 	}
 	return res, nil
 }

@@ -470,9 +470,11 @@ func TestDist5CachedRecoveryArtifactIdentical(t *testing.T) {
 			}
 			plain := capture(plainProvider, plainRes)
 
-			// Fast path: cache on, 4 sweep goroutines, 4 decode workers.
+			// Fast path: cache on (Paranoid: every hit re-verified from the
+			// stored bytes), 4 sweep goroutines, 4 decode workers.
 			fast := cfg
 			fast.UseRecoveryCache = true
+			fast.ParanoidCache = true
 			fast.RecoverConcurrency = 4
 			prevDW := tensor.DecodeWorkers()
 			tensor.SetDecodeWorkers(4)
@@ -499,6 +501,19 @@ func TestDist5CachedRecoveryArtifactIdentical(t *testing.T) {
 				if d := want.Diff(g); d != "" {
 					t.Errorf("%s: stored %s differ between uncached and cached+parallel recovery", key, d)
 				}
+			}
+			if plainRes.CacheStats != nil {
+				t.Fatal("uncached run reported cache stats")
+			}
+			s := fastRes.CacheStats
+			if s == nil {
+				t.Fatal("cached run missing cache stats")
+			}
+			if s.Puts == 0 || s.Hits+s.Misses == 0 {
+				t.Fatalf("cache saw no traffic: %+v", s)
+			}
+			if s.Corrupt != 0 {
+				t.Fatalf("paranoid verification dropped entries: %+v", s)
 			}
 		})
 	}

@@ -165,6 +165,16 @@ func (m MedianOfRuns) TTRBreakdown(useCase string) core.RecoverTiming {
 	}
 }
 
+// CacheStats returns the first run's recovery-cache snapshot, or nil when
+// the flow ran without a cache. (Counters are structural — fixed by flow
+// shape and cache bound, not by timing — so one run represents all.)
+func (m MedianOfRuns) CacheStats() *core.RecoveryCacheStats {
+	if len(m.Runs) == 0 {
+		return nil
+	}
+	return m.Runs[0].CacheStats
+}
+
 // Storage returns the per-model storage of a use case.
 func (m MedianOfRuns) Storage(useCase string) int64 {
 	if len(m.Runs) == 0 {

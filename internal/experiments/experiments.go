@@ -64,6 +64,15 @@ type Opts struct {
 	// (tensor.SetDecodeWorkers); 0 follows the hashing pool. Results are
 	// bit-identical for any value.
 	RecoverWorkers int
+	// ServeClients is the concurrent client count of the serving-tier load
+	// generator (0 = 100, the acceptance scale).
+	ServeClients int
+	// ServeRequests is the number of recoveries each serve client issues
+	// (0 = 6).
+	ServeRequests int
+	// ServeInferEvery makes every k-th serve request run an inference on
+	// the recovered net (0 = 3).
+	ServeInferEvery int
 }
 
 // Default returns fast settings suitable for benchmarks and CI: small
@@ -173,6 +182,9 @@ func Registry() map[string]Func {
 		"abl-workers":    AblationWorkers,
 		"abl-recover":    AblationRecover,
 		"abl-faults":     AblationFaults,
+
+		// The serving-tier load generator (DESIGN.md §9).
+		"serve": Serve,
 	}
 }
 
@@ -182,7 +194,7 @@ func Order() []string {
 		"tab1", "tab2", "fig2", "fig4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"tab3", "fig14", "fig15",
-		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers", "abl-recover", "abl-faults",
+		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers", "abl-recover", "abl-faults", "serve",
 	}
 }
 

@@ -136,5 +136,21 @@ func distFigure(w io.Writer, o Opts, recover bool) error {
 		b := perApproach[ap].TTRBreakdown(deepest)
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", ap, ms(b.Load), ms(b.Recover), ms(b.CheckEnv), ms(b.Verify))
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// Recovery-cache traffic for the U4 sweep: shared hits cost O(1),
+	// COW'd hits additionally copied the tensors their caller mutated.
+	if o.RecoverCache {
+		tw = newTab(w)
+		fmt.Fprint(tw, "\nCACHE\tHITS\tSHARED\tCOW\tMISSES\tPUTS\tEVICTIONS\tCORRUPT\tBYTES\n")
+		for _, ap := range approaches {
+			if s := perApproach[ap].CacheStats(); s != nil {
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+					ap, s.Hits, s.SharedHits, s.CowHits, s.Misses, s.Puts, s.Evictions, s.Corrupt, s.Bytes)
+			}
+		}
+		return tw.Flush()
+	}
+	return nil
 }

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServeSmoke runs the serving-tier load generator at the smallest
+// useful scale: every cache policy, concurrent clients, periodic
+// inference, and the cross-policy state-hash identity check all live.
+func TestServeSmoke(t *testing.T) {
+	o := fastOpts(t)
+	o.ServeClients = 4
+	o.ServeRequests = 3
+	o.ServeInferEvery = 2
+	var buf bytes.Buffer
+	if err := Serve(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cache-off", "cache-on", "paranoid", "RECOVER QPS", "P99", "HITS/MISSES"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package filestore
+
+import "errors"
+
+const mmapSupported = false
+
+// mmapFile on platforms without a wired-up mmap: never called (OpenMapped
+// checks MmapEnabled first), but kept so the portable code compiles
+// identically everywhere.
+func mmapFile(string) (*Mapping, error) {
+	return nil, errors.New("filestore: mmap not supported on this platform")
+}
+
+func munmap([]byte) error { return nil }

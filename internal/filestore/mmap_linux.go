@@ -1,0 +1,48 @@
+//go:build linux
+
+package filestore
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile memory-maps the file at path read-only. The descriptor is
+// closed after mapping (the mapping survives it). The returned Mapping
+// carries a finalizer that unmaps it when it becomes unreachable, so
+// consumers that alias the bytes only need to keep the Mapping reachable
+// (tensor aliasing does, via each tensor's retained ref).
+func mmapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("filestore: opening blob: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("filestore: mapping blob: %w", err)
+	}
+	size := info.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("filestore: blob too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: mapping blob: %w", err)
+	}
+	m := &Mapping{data: data, mapped: true}
+	runtime.SetFinalizer(m, func(m *Mapping) { m.Close() })
+	return m, nil
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

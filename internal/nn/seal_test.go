@@ -1,0 +1,247 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func sealTestDict() *StateDict {
+	sd := NewStateDict()
+	sd.Set("a.weight", tensor.New([]float32{1, 2, 3, 4}, 2, 2))
+	sd.Set("a.bias", tensor.New([]float32{5, 6}, 2))
+	sd.Set("b.weight", tensor.New([]float32{7, 8, 9}, 3))
+	return sd
+}
+
+func TestSealShareCopyOnWrite(t *testing.T) {
+	owner := sealTestDict()
+	orig := owner.Clone()
+	owner.Seal()
+	if !owner.Sealed() {
+		t.Fatal("Seal did not seal")
+	}
+
+	v1 := owner.Share()
+	v2 := owner.Share()
+	if !v1.Sealed() || !v2.Sealed() {
+		t.Fatal("shares must be sealed")
+	}
+	// Shares alias the owner's tensors — zero copy.
+	ot, _ := owner.Get("a.weight")
+	vt, _ := v1.Get("a.weight")
+	if &ot.Data()[0] != &vt.Data()[0] {
+		t.Fatal("share copied tensor data")
+	}
+
+	// Mutating one view via Set detaches it; owner and sibling unaffected.
+	v1.Set("a.weight", tensor.New([]float32{9, 9, 9, 9}, 2, 2))
+	if v1.Sealed() {
+		t.Fatal("mutated view should be detached (unsealed)")
+	}
+	if !owner.Equal(orig) || !v2.Equal(orig) {
+		t.Fatal("mutation through a view reached the owner or a sibling")
+	}
+	w, ok := v1.Get("a.weight")
+	if !ok || w.Data()[0] != 9 {
+		t.Fatal("view mutation lost")
+	}
+
+	// MutableTensor on the other view clones only the touched tensor.
+	mt, ok := v2.MutableTensor("b.weight")
+	if !ok {
+		t.Fatal("missing b.weight")
+	}
+	mt.Data()[0] = 42
+	if !owner.Equal(orig) {
+		t.Fatal("MutableTensor mutation reached the owner")
+	}
+	// Untouched entries still alias the owner after detach.
+	ob, _ := owner.Get("a.bias")
+	vb, _ := v2.Get("a.bias")
+	if &ob.Data()[0] != &vb.Data()[0] {
+		t.Fatal("detach cloned untouched tensors")
+	}
+	// A second MutableTensor on the same key must return the same private
+	// clone, not re-clone from the (already replaced) entry.
+	mt2, _ := v2.MutableTensor("b.weight")
+	if mt2.Data()[0] != 42 {
+		t.Fatal("second MutableTensor lost the first mutation")
+	}
+}
+
+func TestSealVersionTokens(t *testing.T) {
+	owner := sealTestDict().Seal()
+	v1 := owner.Share()
+	v2 := owner.Share()
+	if owner.Version() != owner {
+		t.Fatal("owner's version must be itself")
+	}
+	if v1.Version() != owner || v2.Version() != owner {
+		t.Fatal("views of one owner must share its version token")
+	}
+	// A view of a view still reports the root owner.
+	if v1.Share().Version() != owner {
+		t.Fatal("share-of-share lost the owner token")
+	}
+	// Detaching makes the view a new version; siblings are unaffected.
+	if _, ok := v1.MutableTensor("a.bias"); !ok {
+		t.Fatal("missing a.bias")
+	}
+	if v1.Version() != v1 {
+		t.Fatal("detached view must be its own version")
+	}
+	if v2.Version() != owner {
+		t.Fatal("sibling version changed by another view's detach")
+	}
+	// A fresh unsealed dict is its own version.
+	fresh := sealTestDict()
+	if fresh.Version() != fresh {
+		t.Fatal("unsealed dict must be its own version")
+	}
+}
+
+func TestSealOnDetachFiresOnce(t *testing.T) {
+	owner := sealTestDict().Seal()
+	v := owner.Share()
+	calls := 0
+	v.OnDetach(func() { calls++ })
+	if _, ok := v.MutableTensor("a.bias"); !ok {
+		t.Fatal("missing a.bias")
+	}
+	if _, ok := v.MutableTensor("a.weight"); !ok {
+		t.Fatal("missing a.weight")
+	}
+	v.Set("b.weight", tensor.New([]float32{0, 0, 0}, 3))
+	if calls != 1 {
+		t.Fatalf("onDetach fired %d times, want 1", calls)
+	}
+}
+
+func TestSealHashSemantics(t *testing.T) {
+	sd := sealTestDict()
+	want := sd.Hash()
+	sd.Seal()
+	if sd.Hash() != want {
+		t.Fatal("sealing changed the hash")
+	}
+	// Out-of-contract direct mutation: the cached digests hide it from
+	// Hash, HashFresh sees it. (This is exactly why the Paranoid recovery
+	// cache exists.)
+	sd.Entries()[0].Tensor.Data()[0] += 1
+	if sd.Hash() != want {
+		t.Fatal("Hash should still report cached digests")
+	}
+	if sd.HashFresh() == want {
+		t.Fatal("HashFresh must see the raw mutation")
+	}
+}
+
+func TestReadStateDictMappedMatchesBytes(t *testing.T) {
+	sd := sealTestDict()
+	var buf bytes.Buffer
+	if _, err := sd.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+
+	copied, err := ReadStateDictBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := ReadStateDictMapped(b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Sealed() {
+		t.Fatal("mapped dict must be born sealed")
+	}
+	if !copied.Equal(sd) || !mapped.Equal(sd) {
+		t.Fatal("decode mismatch")
+	}
+	if copied.Hash() != mapped.Hash() {
+		t.Fatal("hash mismatch between copied and mapped decode")
+	}
+	// Mutation through the API never writes the backing bytes.
+	before := append([]byte(nil), b...)
+	w, ok := mapped.MutableTensor("a.weight")
+	if !ok {
+		t.Fatal("missing a.weight")
+	}
+	w.Data()[0] = -1
+	if !bytes.Equal(b, before) {
+		t.Fatal("mutating a mapped dict wrote through to the backing bytes")
+	}
+}
+
+func TestSerializedSizeExactWithPadding(t *testing.T) {
+	// Keys of varying length exercise every pad value 0..3.
+	sd := NewStateDict()
+	for _, k := range []string{"k", "ke", "key", "key4", "key55"} {
+		sd.Set(k, tensor.New([]float32{1, 2}, 2))
+	}
+	var buf bytes.Buffer
+	n, err := sd.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sd.SerializedSize() {
+		t.Fatalf("WriteTo wrote %d bytes, SerializedSize says %d", n, sd.SerializedSize())
+	}
+	got, err := ReadStateDictBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(sd) {
+		t.Fatal("round trip failed")
+	}
+}
+
+// buildV1StateDict hand-writes the version-1 layout (no key padding) to
+// prove old blobs stay readable.
+func buildV1StateDict(t *testing.T, sd *StateDict) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], sdMagic)
+	buf.Write(b4[:])
+	binary.LittleEndian.PutUint16(b4[:2], 1)
+	buf.Write(b4[:2])
+	binary.LittleEndian.PutUint32(b4[:], uint32(sd.Len()))
+	buf.Write(b4[:])
+	for _, e := range sd.Entries() {
+		binary.LittleEndian.PutUint16(b4[:2], uint16(len(e.Key)))
+		buf.Write(b4[:2])
+		buf.WriteString(e.Key)
+		if _, err := e.Tensor.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestReadStateDictVersion1Compat(t *testing.T) {
+	sd := sealTestDict()
+	v1 := buildV1StateDict(t, sd)
+	got, err := ReadStateDictBytes(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(sd) {
+		t.Fatal("v1 decode mismatch")
+	}
+	// The mapped reader accepts v1 too; misaligned frames just fall back
+	// to the copying decode.
+	mapped, err := ReadStateDictMapped(v1, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Equal(sd) {
+		t.Fatal("v1 mapped decode mismatch")
+	}
+	if got.Hash() != sd.Hash() || mapped.Hash() != sd.Hash() {
+		t.Fatal("v1 hash mismatch")
+	}
+}

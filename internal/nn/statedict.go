@@ -28,6 +28,22 @@ type StateDict struct {
 	// hashes were read as a frozen snapshot, which is exactly how the
 	// save paths use the dict of one save.
 	digests [][sha256.Size]byte
+	// sealed marks a frozen dict (see Seal): mutation through the dict
+	// API detaches into private index structures first, so sealed owners
+	// and their Share views never observe each other's changes.
+	sealed bool
+	// onDetach fires (once) when the first copy-on-write detach happens;
+	// the recovery cache uses it to count COW'd hits.
+	onDetach func()
+	// cowShared marks entries whose tensors are still shared with the
+	// sealed dict this one detached from; such tensors are cloned before
+	// MutableTensor hands them out. nil when no tensors are shared.
+	cowShared []bool
+	// origin points at the sealed dict a Share view was taken from; all
+	// views of the same owner report it through Version, so serve loops
+	// can recognize "same contents as last time" in O(1). nil for owners
+	// and for detached (now private) dicts.
+	origin *StateDict
 }
 
 // Entry is one named tensor of a state dict.
@@ -58,10 +74,19 @@ func StateDictOf(m Module) *StateDict {
 }
 
 // Set appends (or replaces) the entry for key and drops the digest cache.
+// On a sealed dict Set detaches first (copy-on-write): the dict gets
+// private index structures and only this entry changes, so the sealed
+// owner and every other view keep their frozen state.
 func (sd *StateDict) Set(key string, t *tensor.Tensor) {
+	if sd.sealed {
+		sd.detach()
+	}
 	sd.digests = nil
 	if i, ok := sd.index[key]; ok {
 		sd.entries[i].Tensor = t
+		if sd.cowShared != nil && i < len(sd.cowShared) {
+			sd.cowShared[i] = false
+		}
 		return
 	}
 	sd.index[key] = len(sd.entries)
@@ -251,9 +276,16 @@ func (sd *StateDict) LayerHashes() []KeyHash {
 	return out
 }
 
-// Hash returns a single content hash over the whole dict.
+// Hash returns a single content hash over the whole dict. On a sealed
+// dict the cached per-entry digests make this O(entries) instead of a
+// pass over all tensor bytes; use HashFresh when the bytes themselves
+// must be re-verified.
 func (sd *StateDict) Hash() string {
-	digests := sd.readDigests()
+	return sd.hashDigests(sd.readDigests())
+}
+
+// hashDigests combines per-entry digests into the dict content hash.
+func (sd *StateDict) hashDigests(digests [][sha256.Size]byte) string {
 	var hexBuf [2 * sha256.Size]byte
 	h := sha256.New()
 	for i, e := range sd.entries {
@@ -341,54 +373,32 @@ func Merge(base, update *StateDict) *StateDict {
 // State-dict binary format (little endian):
 //
 //	magic   uint32 0x44534d4d ("MMSD")
-//	version uint16 1
+//	version uint16 2
 //	count   uint32
-//	count × { keyLen uint16, key bytes, tensor (tensor format) }
+//	count × { keyLen uint16, key bytes, padLen uint8, padLen × 0x00,
+//	          tensor (tensor format) }
+//
+// The pad after each key aligns the tensor frame to a 4-byte boundary;
+// the frame header is 8 bytes plus 4 bytes per dimension, so the IEEE-754
+// data lands 4-aligned too. Alignment is what lets recovery alias float32
+// tensor data directly over a memory-mapped parameter blob instead of
+// copying it out (tensor.AliasFrames). Version-1 blobs (no pad) remain
+// readable; their misaligned frames just decode through the copying path.
 const (
 	sdMagic   = 0x44534d4d
-	sdVersion = 1
+	sdVersion = 2
 )
+
+// sdPad returns the number of zero bytes written after a key whose
+// pad-length byte lands at offset off, so the following tensor frame
+// starts 4-byte aligned.
+func sdPad(off int64) int {
+	return int((4 - (off+1)%4) % 4)
+}
 
 // WriteTo serializes the dict and returns the number of bytes written.
 func (sd *StateDict) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	var n int64
-	var b8 [8]byte
-	binary.LittleEndian.PutUint32(b8[:4], sdMagic)
-	binary.LittleEndian.PutUint16(b8[4:6], sdVersion)
-	m, err := bw.Write(b8[:6])
-	n += int64(m)
-	if err != nil {
-		return n, err
-	}
-	binary.LittleEndian.PutUint32(b8[:4], uint32(len(sd.entries)))
-	m, err = bw.Write(b8[:4])
-	n += int64(m)
-	if err != nil {
-		return n, err
-	}
-	for _, e := range sd.entries {
-		if len(e.Key) > 0xffff {
-			return n, fmt.Errorf("nn: key %q too long", e.Key)
-		}
-		binary.LittleEndian.PutUint16(b8[:2], uint16(len(e.Key)))
-		m, err = bw.Write(b8[:2])
-		n += int64(m)
-		if err != nil {
-			return n, err
-		}
-		m, err = io.WriteString(bw, e.Key)
-		n += int64(m)
-		if err != nil {
-			return n, err
-		}
-		nt, err := e.Tensor.WriteTo(bw)
-		n += nt
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, bw.Flush()
+	return sd.writeTo(w, false)
 }
 
 // WriteToWithDigests serializes the dict like WriteTo while computing the
@@ -399,8 +409,14 @@ func (sd *StateDict) WriteTo(w io.Writer) (int64, error) {
 // layer hashes first), this degrades to a plain WriteTo — each tensor is
 // digested at most once per save either way.
 func (sd *StateDict) WriteToWithDigests(w io.Writer) (int64, error) {
-	if sd.digests != nil {
-		return sd.WriteTo(w)
+	return sd.writeTo(w, true)
+}
+
+func (sd *StateDict) writeTo(w io.Writer, withDigests bool) (int64, error) {
+	tee := withDigests && sd.digests == nil
+	var digests [][sha256.Size]byte
+	if tee {
+		digests = make([][sha256.Size]byte, len(sd.entries))
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var n int64
@@ -418,7 +434,7 @@ func (sd *StateDict) WriteToWithDigests(w io.Writer) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	digests := make([][sha256.Size]byte, len(sd.entries))
+	var pad [4]byte
 	for i, e := range sd.entries {
 		if len(e.Key) > 0xffff {
 			return n, fmt.Errorf("nn: key %q too long", e.Key)
@@ -434,17 +450,35 @@ func (sd *StateDict) WriteToWithDigests(w io.Writer) (int64, error) {
 		if err != nil {
 			return n, err
 		}
-		nt, d, err := e.Tensor.WriteToWithDigest(bw)
+		p := sdPad(n)
+		pad[0] = byte(p)
+		for j := 1; j <= p; j++ {
+			pad[j] = 0
+		}
+		m, err = bw.Write(pad[:1+p])
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		var nt int64
+		if tee {
+			var d [sha256.Size]byte
+			nt, d, err = e.Tensor.WriteToWithDigest(bw)
+			digests[i] = d
+		} else {
+			nt, err = e.Tensor.WriteTo(bw)
+		}
 		n += nt
 		if err != nil {
 			return n, err
 		}
-		digests[i] = d
 	}
 	if err := bw.Flush(); err != nil {
 		return n, err
 	}
-	sd.digests = digests
+	if tee {
+		sd.digests = digests
+	}
 	return n, nil
 }
 
@@ -452,7 +486,9 @@ func (sd *StateDict) WriteToWithDigests(w io.Writer) (int64, error) {
 func (sd *StateDict) SerializedSize() int64 {
 	n := int64(10)
 	for _, e := range sd.entries {
-		n += 2 + int64(len(e.Key)) + e.Tensor.SerializedSize()
+		n += 2 + int64(len(e.Key))
+		n += int64(1 + sdPad(n))
+		n += e.Tensor.SerializedSize()
 	}
 	return n
 }
@@ -479,36 +515,9 @@ func ReadStateDict(r io.Reader) (*StateDict, error) {
 // sequential read for any worker count. The returned dict's tensors are
 // fresh copies; b is not retained.
 func ReadStateDictBytes(b []byte) (*StateDict, error) {
-	if len(b) < 10 {
-		return nil, fmt.Errorf("nn: reading state dict header: truncated")
-	}
-	if binary.LittleEndian.Uint32(b[:4]) != sdMagic {
-		return nil, fmt.Errorf("nn: bad state dict magic")
-	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != sdVersion {
-		return nil, fmt.Errorf("nn: unsupported state dict version %d", v)
-	}
-	count := int(binary.LittleEndian.Uint32(b[6:10]))
-	keys := make([]string, count)
-	offs := make([]int, count)
-	off := 10
-	for i := 0; i < count; i++ {
-		if len(b)-off < 2 {
-			return nil, fmt.Errorf("nn: reading key length: truncated")
-		}
-		kl := int(binary.LittleEndian.Uint16(b[off:]))
-		off += 2
-		if len(b)-off < kl {
-			return nil, fmt.Errorf("nn: reading key: truncated")
-		}
-		keys[i] = string(b[off : off+kl])
-		off += kl
-		offs[i] = off
-		end, err := tensor.ScanFrame(b, off)
-		if err != nil {
-			return nil, fmt.Errorf("nn: scanning tensor for %q: %w", keys[i], err)
-		}
-		off = end
+	keys, offs, err := scanStateDict(b)
+	if err != nil {
+		return nil, err
 	}
 	ts, err := tensor.DecodeFrames(b, offs)
 	if err != nil {
@@ -519,4 +528,86 @@ func ReadStateDictBytes(b []byte) (*StateDict, error) {
 		sd.Set(key, ts[i])
 	}
 	return sd, nil
+}
+
+// ReadStateDictMapped deserializes a state dict whose serialized bytes
+// stay alive and immutable for the dict's lifetime — a memory-mapped
+// parameter blob, or a private heap buffer that no one mutates afterwards.
+// Wherever platform and alignment allow (every version-2 frame on a
+// little-endian platform), tensor data aliases b directly instead of
+// being copied, and the aliasing tensors retain ref, so a mapping stays
+// reachable — and mapped — while any tensor still reads from it.
+//
+// The returned dict is born sealed (without precomputed digests):
+// mutation through the dict API copy-on-writes, so the aliased bytes —
+// possibly a read-only mapping, where a stray write would fault — can
+// never be written through the dict.
+func ReadStateDictMapped(b []byte, ref any) (*StateDict, error) {
+	keys, offs, err := scanStateDict(b)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := tensor.AliasFrames(b, offs, ref)
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading tensors: %w", err)
+	}
+	sd := NewStateDict()
+	for i, key := range keys {
+		sd.Set(key, ts[i])
+	}
+	sd.sealed = true
+	return sd, nil
+}
+
+// scanStateDict locates every key and tensor-frame offset in a serialized
+// state dict without decoding tensor data. It accepts both the current
+// version-2 layout (aligned frames) and version-1 blobs written before
+// the key padding existed.
+func scanStateDict(b []byte) ([]string, []int, error) {
+	if len(b) < 10 {
+		return nil, nil, fmt.Errorf("nn: reading state dict header: truncated")
+	}
+	if binary.LittleEndian.Uint32(b[:4]) != sdMagic {
+		return nil, nil, fmt.Errorf("nn: bad state dict magic")
+	}
+	v := binary.LittleEndian.Uint16(b[4:6])
+	if v != 1 && v != sdVersion {
+		return nil, nil, fmt.Errorf("nn: unsupported state dict version %d", v)
+	}
+	count := int(binary.LittleEndian.Uint32(b[6:10]))
+	keys := make([]string, count)
+	offs := make([]int, count)
+	off := 10
+	for i := 0; i < count; i++ {
+		if len(b)-off < 2 {
+			return nil, nil, fmt.Errorf("nn: reading key length: truncated")
+		}
+		kl := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if len(b)-off < kl {
+			return nil, nil, fmt.Errorf("nn: reading key: truncated")
+		}
+		keys[i] = string(b[off : off+kl])
+		off += kl
+		if v >= 2 {
+			if len(b)-off < 1 {
+				return nil, nil, fmt.Errorf("nn: reading key padding: truncated")
+			}
+			p := int(b[off])
+			if p > 3 {
+				return nil, nil, fmt.Errorf("nn: bad key padding length %d", p)
+			}
+			off += 1 + p
+			if off > len(b) {
+				return nil, nil, fmt.Errorf("nn: reading key padding: truncated")
+			}
+		}
+		offs[i] = off
+		end, err := tensor.ScanFrame(b, off)
+		if err != nil {
+			return nil, nil, fmt.Errorf("nn: scanning tensor for %q: %w", keys[i], err)
+		}
+		off = end
+	}
+	return keys, offs, nil
 }

@@ -1,0 +1,13 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || wasm)
+
+package tensor
+
+// aliasFloats on platforms where float32 data cannot alias serialized
+// bytes (big-endian byte order): always report "cannot alias" so
+// AliasFrames falls back to the copying decode, which converts byte
+// order explicitly.
+func aliasFloats([]byte) []float32 { return nil }
+
+// canAliasFloats reports whether this platform supports zero-copy float
+// aliasing at all.
+const canAliasFloats = false

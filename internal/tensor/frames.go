@@ -99,6 +99,57 @@ func decodeData(dst []float32, src []byte) {
 	}
 }
 
+// aliasedFrames counts tensors decoded zero-copy by AliasFrames, so tests
+// and the serve benchmark can confirm aliasing actually engaged instead of
+// silently falling back to copies.
+var aliasedFrames atomic.Uint64
+
+// AliasedFrames returns the cumulative number of tensor frames decoded
+// zero-copy by AliasFrames since process start.
+func AliasedFrames() uint64 { return aliasedFrames.Load() }
+
+// CanAlias reports whether this platform can alias float32 tensor data
+// over serialized little-endian bytes at all (per-frame alignment still
+// decides each case).
+func CanAlias() bool { return canAliasFloats }
+
+// AliasFrames decodes the tensor frames starting at offs[i] in b like
+// DecodeFrames, but wherever platform and frame alignment allow, the
+// returned tensor's float32 data aliases b directly — zero copy, zero
+// conversion — and the tensor retains ref so b's backing storage (a
+// memory mapping, say) stays reachable while the tensor lives. Frames
+// that cannot alias (big-endian platforms, or the 4-byte-misaligned
+// frames of version-1 state dicts) fall back to the copying decode, so
+// the result is bit-identical to DecodeFrames either way. The caller
+// promises b is immutable for the lifetime of the returned tensors.
+func AliasFrames(b []byte, offs []int, ref any) ([]*Tensor, error) {
+	out := make([]*Tensor, len(offs))
+	var pending, pendingIdx []int
+	for i, off := range offs {
+		shape, dataOff, end, err := frameHeader(b, off)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: decoding frame %d: %w", i, err)
+		}
+		if data := aliasFloats(b[dataOff:end]); data != nil {
+			out[i] = &Tensor{shape: shape, data: data, ref: ref}
+			aliasedFrames.Add(1)
+			continue
+		}
+		pending = append(pending, off)
+		pendingIdx = append(pendingIdx, i)
+	}
+	if len(pending) > 0 {
+		ts, err := DecodeFrames(b, pending)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range pendingIdx {
+			out[i] = ts[j]
+		}
+	}
+	return out, nil
+}
+
 // DecodeFrames decodes the tensor frames starting at offs[i] in b with up
 // to DecodeWorkers() goroutines. Frames are independent, so out[i] is
 // bit-identical to a sequential ReadFromBytes(b, offs[i]) for any worker

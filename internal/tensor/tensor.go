@@ -19,6 +19,11 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float32
+	// ref pins the backing storage of an aliased tensor (e.g. a
+	// memory-mapped parameter blob) reachable for the tensor's lifetime,
+	// so the mapping cannot be unmapped while the data is still readable
+	// through it. nil for tensors that own their data.
+	ref any
 }
 
 // New creates a tensor with the given shape backed by data. The data slice is
@@ -81,7 +86,14 @@ func (t *Tensor) NDim() int { return len(t.shape) }
 func (t *Tensor) Len() int { return len(t.data) }
 
 // Data returns the underlying data slice. Mutating it mutates the tensor.
+// Mutating an Aliased tensor's data is forbidden: the slice may alias a
+// read-only memory mapping, where a store faults.
 func (t *Tensor) Data() []float32 { return t.data }
+
+// Aliased reports whether the tensor's data aliases external backing
+// storage (a mapped or retained parameter blob) rather than owning it.
+// Clone returns an owning copy.
+func (t *Tensor) Aliased() bool { return t.ref != nil }
 
 // At returns the element at the given multi-dimensional index.
 func (t *Tensor) At(idx ...int) float32 {
@@ -120,7 +132,7 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if Prod(shape) != len(t.data) {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
 	}
-	return &Tensor{shape: cloneInts(shape), data: t.data}
+	return &Tensor{shape: cloneInts(shape), data: t.data, ref: t.ref}
 }
 
 // SameShape reports whether t and o have identical shapes.
