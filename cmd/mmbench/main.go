@@ -13,12 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/filestore"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -26,6 +28,8 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		list     = flag.Bool("list", false, "list experiment identifiers and exit")
+		trace    = flag.String("trace", "", "write every save/recovery span of the run as a Chrome trace-event file (load in chrome://tracing or ui.perfetto.dev)")
+		metrics  = flag.String("metrics-out", "", "write the final metrics-registry snapshot to this file as JSON")
 		workers  = flag.Int("workers", 0, "goroutines for parallel hashing and tensor reductions (0 = one per CPU; results are bit-identical for any value)")
 		rworkers = flag.Int("recover-workers", 0, "goroutines for recovery-side tensor deserialization (0 = follow -workers; results are bit-identical for any value)")
 		rcache   = flag.Bool("recover-cache", false, "memoize recoveries in the measured U4 sweeps through a recovery cache")
@@ -44,7 +48,9 @@ func main() {
 		mmap     = flag.Bool("mmap", true, "read parameter blobs through memory mappings where the platform supports it (false = plain reads; results are bit-identical either way)")
 		mem      = flag.Bool("mem", false, "report runtime.ReadMemStats deltas (allocated bytes, GC cycles) after each experiment")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
 
 	if *workers > 0 {
 		tensor.SetWorkers(*workers)
@@ -88,6 +94,9 @@ func main() {
 	opts.ServeClients = *sclients
 	opts.ServeRequests = *sreqs
 	opts.ServeInferEvery = *sinfer
+	if *trace != "" {
+		opts.Tracer = obs.NewTracer()
+	}
 
 	reg := experiments.Registry()
 	var ids []string
@@ -96,7 +105,7 @@ func main() {
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
 			if _, ok := reg[id]; !ok {
-				fmt.Fprintf(os.Stderr, "mmbench: unknown experiment %q (use -list)\n", id)
+				obs.Errorf("mmbench: unknown experiment %q (use -list)", id)
 				os.Exit(2)
 			}
 			ids = append(ids, id)
@@ -110,8 +119,7 @@ func main() {
 			runtime.ReadMemStats(&before)
 		}
 		if err := reg[id](os.Stdout, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "mmbench: %s: %v\n", id, err)
-			os.Exit(1)
+			obs.Fatalf("mmbench: %s: %v", id, err)
 		}
 		if *mem {
 			var after runtime.MemStats
@@ -121,4 +129,32 @@ func main() {
 				float64(after.HeapAlloc)/1e6, after.NumGC-before.NumGC)
 		}
 	}
+
+	if opts.Tracer != nil {
+		if err := writeFile(*trace, opts.Tracer.WriteTrace); err != nil {
+			obs.Fatalf("mmbench: writing trace: %v", err)
+		}
+		obs.Infof("mmbench: trace written to %s", *trace)
+	}
+	if *metrics != "" {
+		snap := obs.Default().Snapshot()
+		if err := writeFile(*metrics, snap.WriteJSON); err != nil {
+			obs.Fatalf("mmbench: writing metrics: %v", err)
+		}
+		obs.Infof("mmbench: metrics snapshot written to %s", *metrics)
+	}
+}
+
+// writeFile creates path and streams write into it, surfacing the close
+// error (the last chance a full disk has to be noticed).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

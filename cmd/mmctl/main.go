@@ -30,6 +30,7 @@ import (
 	"repro/internal/docdb"
 	"repro/internal/filestore"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,7 +40,9 @@ func main() {
 		out      = flag.String("out", "", "output file for 'recover'")
 		force    = flag.Bool("force", false, "force deletion even when other models depend on the target")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
 	args := flag.Args()
 	if *storeDir == "" || len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: mmctl -store DIR [flags] {list|lineage|children|stats|delete|gc|recover} [id]")
@@ -184,6 +187,5 @@ func short(id string) string {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "mmctl: %v\n", err)
-	os.Exit(1)
+	obs.Fatalf("mmctl: %v", err)
 }

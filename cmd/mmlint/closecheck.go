@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -16,13 +17,14 @@ const nameCloseCheck = "closecheck"
 
 var closeCheckAnalyzer = &Analyzer{
 	Name: nameCloseCheck,
-	Doc:  "discarded error from Close/Flush/Sync on a writable file or conn",
+	Doc:  "discarded error from Close/Flush/Sync on a writable file or conn; obs spans started but never ended",
 	Run:  runCloseCheck,
 }
 
 func runCloseCheck(_ *Program, p *Package) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
+		out = append(out, spanCheckFile(p, file)...)
 		readonly := readonlyHandles(p, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			var call *ast.CallExpr
@@ -131,6 +133,140 @@ func readonlyHandles(p *Package, file *ast.File) map[types.Object]bool {
 		return true
 	})
 	return out
+}
+
+// spanCheckFile is the span half of closecheck: End() is what records a
+// span with its tracer, so an *obs.Span that is started but never ended
+// silently drops itself — and its place in the tree — from the trace
+// file. Every span variable assigned from a call must have a lexical
+// End() call somewhere in the enclosing function (closure bodies count).
+// Spans that escape the function — returned, passed to another call,
+// aliased, stored in a composite literal, sent on a channel, or address-
+// taken — are the recipient's responsibility and are skipped.
+func spanCheckFile(p *Package, file *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		started := map[types.Object]*ast.Ident{}
+		ended := map[types.Object]bool{}
+		escaped := map[types.Object]bool{}
+		spanObj := func(e ast.Expr) types.Object {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				obj = p.Info.Defs[id]
+			}
+			if obj == nil || !isObsSpanPtr(obj.Type()) {
+				return nil
+			}
+			return obj
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				// Aliasing a span (s2 := sp) makes its liveness non-lexical;
+				// a blank discard (_ = sp) aliases nothing.
+				if !allBlank(st.Lhs) {
+					for _, r := range st.Rhs {
+						if obj := spanObj(r); obj != nil {
+							escaped[obj] = true
+						}
+					}
+				}
+				hasCall := false
+				for _, r := range st.Rhs {
+					if _, ok := r.(*ast.CallExpr); ok {
+						hasCall = true
+					}
+				}
+				if !hasCall {
+					return true
+				}
+				for _, l := range st.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := p.Info.Defs[id]
+					if obj == nil {
+						obj = p.Info.Uses[id]
+					}
+					if obj != nil && isObsSpanPtr(obj.Type()) {
+						if _, seen := started[obj]; !seen {
+							started[obj] = id
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := st.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" && len(st.Args) == 0 {
+					if obj := spanObj(sel.X); obj != nil {
+						ended[obj] = true
+					}
+				}
+				for _, a := range st.Args {
+					if obj := spanObj(a); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range st.Results {
+					if obj := spanObj(r); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, e := range st.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						e = kv.Value
+					}
+					if obj := spanObj(e); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			case *ast.SendStmt:
+				if obj := spanObj(st.Value); obj != nil {
+					escaped[obj] = true
+				}
+			case *ast.UnaryExpr:
+				if st.Op == token.AND {
+					if obj := spanObj(st.X); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		for obj, id := range started {
+			if ended[obj] || escaped[obj] {
+				continue
+			}
+			out = append(out, p.findingAt(id.Pos(), nameCloseCheck,
+				"span %q is started but never ended; End() is what records a span, so this one drops out of the trace — call %s.End() on every path",
+				obj.Name(), obj.Name()))
+		}
+	}
+	return out
+}
+
+// isObsSpanPtr reports whether t is *Span from a package whose import
+// path ends in "obs" (the real tracing package or a fixture stand-in).
+func isObsSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && pathHasSuffixSegments(obj.Pkg().Path(), "obs")
 }
 
 func allBlank(exprs []ast.Expr) bool {

@@ -19,6 +19,7 @@ var update = flag.Bool("update", false, "rewrite testdata/findings.golden")
 var fixturePackages = []string{
 	"./testdata/src/maprange",
 	"./testdata/src/closecheck",
+	"./testdata/src/spancheck",
 	"./testdata/src/panicfree",
 	"./testdata/src/panicchain/depot",
 	"./testdata/src/panicchain/caller",
@@ -75,7 +76,7 @@ func TestFixtureAnalyzerCoverage(t *testing.T) {
 	}
 	want := map[string]int{
 		nameMapRange:       2,
-		nameCloseCheck:     3,
+		nameCloseCheck:     5, // three discarded close-like errors, two leaked spans
 		namePanicFree:      3, // one direct site, one seeded depot panic, one cross-package escape
 		nameNakedGoroutine: 2,
 		nameHashPurity:     5, // clock, rand, %p, env, map order — clock via a cross-package call

@@ -14,10 +14,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/probe"
 )
 
@@ -31,11 +31,13 @@ func main() {
 		parallel = flag.Bool("parallel", false, "probe in non-deterministic parallel mode")
 		res      = flag.Int("res", 32, "probe input resolution")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
 
 	net, err := models.New(*arch, *classes, *seed)
 	if err != nil {
-		log.Fatalf("mmprobe: %v", err)
+		obs.Fatalf("mmprobe: %v", err)
 	}
 	cfg := probe.DefaultConfig()
 	cfg.Seed = *seed
@@ -47,34 +49,34 @@ func main() {
 	case *savePath != "":
 		s, err := probe.Run(net, cfg)
 		if err != nil {
-			log.Fatalf("mmprobe: %v", err)
+			obs.Fatalf("mmprobe: %v", err)
 		}
 		f, err := os.Create(*savePath)
 		if err != nil {
-			log.Fatalf("mmprobe: %v", err)
+			obs.Fatalf("mmprobe: %v", err)
 		}
 		serr := s.Save(f)
 		if cerr := f.Close(); serr == nil {
 			serr = cerr
 		}
 		if serr != nil {
-			log.Fatalf("mmprobe: %v", serr)
+			obs.Fatalf("mmprobe: %v", serr)
 		}
 		fmt.Printf("probe summary for %s written to %s\n", *arch, *savePath)
 
 	case *cmpPath != "":
 		f, err := os.Open(*cmpPath)
 		if err != nil {
-			log.Fatalf("mmprobe: %v", err)
+			obs.Fatalf("mmprobe: %v", err)
 		}
 		recorded, err := probe.Load(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("mmprobe: %v", err)
+			obs.Fatalf("mmprobe: %v", err)
 		}
 		current, err := probe.Run(net, recorded.Config)
 		if err != nil {
-			log.Fatalf("mmprobe: %v", err)
+			obs.Fatalf("mmprobe: %v", err)
 		}
 		diffs := probe.Compare(recorded, current)
 		if len(diffs) == 0 {
@@ -90,7 +92,7 @@ func main() {
 	default:
 		ok, diffs, err := probe.Verify(net, cfg)
 		if err != nil {
-			log.Fatalf("mmprobe: %v", err)
+			obs.Fatalf("mmprobe: %v", err)
 		}
 		if ok {
 			fmt.Printf("%s: inference and training are reproducible in this setup (mode: %s)\n", *arch, mode(cfg))

@@ -7,30 +7,39 @@
 //	mmserver -addr :7070 -data /var/mmlib/meta
 //
 // With -data the store persists JSON documents on disk; without it the
-// server keeps everything in memory.
+// server keeps everything in memory. With -debug-addr it additionally
+// serves live introspection: /metrics (JSON, or Prometheus text with
+// ?format=prom), /healthz, and /debug/pprof/*. On SIGINT/SIGTERM it
+// drains in-flight connections for up to -drain-timeout and logs a final
+// metrics snapshot before exiting.
 package main
 
 import (
+	"bytes"
 	"flag"
-	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/docdb"
 	"repro/internal/faultnet"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7070", "listen address")
-		data  = flag.String("data", "", "persistence directory (empty = in-memory)")
-		frate = flag.Float64("fault-rate", 0, "chaos testing: inject connection faults (drops, torn frames, delays) into every accepted connection at this per-operation probability")
-		fseed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		data      = flag.String("data", "", "persistence directory (empty = in-memory)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/* on this address (empty = disabled)")
+		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight connections before force-closing them")
+		frate     = flag.Float64("fault-rate", 0, "chaos testing: inject connection faults (drops, torn frames, delays) into every accepted connection at this per-operation probability")
+		fseed     = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
 
 	var backend docdb.Store
 	if *data == "" {
@@ -38,30 +47,50 @@ func main() {
 	} else {
 		disk, err := docdb.OpenDisk(*data)
 		if err != nil {
-			log.Fatalf("mmserver: %v", err)
+			obs.Fatalf("mmserver: %v", err)
 		}
 		backend = disk
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("mmserver: %v", err)
+		obs.Fatalf("mmserver: %v", err)
 	}
 	if *frate > 0 {
 		// Chaos mode: every accepted connection misbehaves on a seeded
 		// schedule, so client fault tolerance can be exercised against a
 		// real deployment.
 		ln = faultnet.WrapListener(ln, faultnet.Config{Seed: *fseed, Rate: *frate})
-		fmt.Printf("mmserver: injecting faults at rate %.3f (seed %d)\n", *frate, *fseed)
+		obs.Warnf("mmserver: injecting faults at rate %.3f (seed %d)", *frate, *fseed)
 	}
 	srv := docdb.NewServerOn(backend, ln)
-	fmt.Printf("mmserver listening on %s (persistence: %s)\n", srv.Addr(), orMem(*data))
+	obs.Infof("mmserver listening on %s (persistence: %s)", srv.Addr(), orMem(*data))
+
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		debug, err = obs.ServeDebug(*debugAddr, obs.Default())
+		if err != nil {
+			obs.Fatalf("mmserver: debug listener: %v", err)
+		}
+		obs.Infof("mmserver: debug surface on http://%s/metrics", debug.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("mmserver: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Fatalf("mmserver: close: %v", err)
+	got := <-sig
+	obs.Infof("mmserver: %v: draining connections (timeout %s)", got, *drain)
+	if err := srv.Shutdown(*drain); err != nil {
+		obs.Warnf("mmserver: %v", err)
+	}
+	// The final snapshot is the server's last words: what the process
+	// handled over its lifetime, in the same JSON shape /metrics serves.
+	var buf bytes.Buffer
+	if err := obs.Default().Snapshot().WriteJSON(&buf); err == nil {
+		obs.Infof("mmserver: final metrics: %s", buf.String())
+	}
+	if debug != nil {
+		if err := debug.Close(); err != nil {
+			obs.Warnf("mmserver: debug close: %v", err)
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Adaptive is the heuristic approach sketched in the paper's discussion
@@ -59,8 +61,17 @@ func (a *Adaptive) SetDatasetResolver(fn func(ref string) (*dataset.Dataset, err
 // selects. Every save also records the layer hashes the PUA needs, so any
 // later save can still choose the PUA against this base.
 func (a *Adaptive) Save(info SaveInfo) (SaveResult, error) {
+	return a.SaveCtx(context.Background(), info)
+}
+
+var _ ContextService = (*Adaptive)(nil)
+var _ ContextStateRecoverer = (*Adaptive)(nil)
+
+// SaveCtx is Save with context propagation: the span tree shows which
+// approach the heuristic delegated to ("save.pua" or "save.mpa").
+func (a *Adaptive) SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
 	if info.BaseID == "" {
-		return a.pua.Save(info)
+		return a.pua.SaveCtx(ctx, info)
 	}
 	if info.Provenance != nil && info.Provenance.ds != nil {
 		datasetBytes := info.Provenance.ds.Spec.SizeBytes()
@@ -70,10 +81,12 @@ func (a *Adaptive) Save(info SaveInfo) (SaveResult, error) {
 			// the PUA: it needs this model's layer hashes, which MPA does
 			// not store. Record them additionally.
 			start := time.Now()
-			res, err := a.mpa.Save(info)
+			res, err := a.mpa.SaveCtx(ctx, info)
 			if err != nil {
 				return res, err
 			}
+			_, spHashes := obs.StartSpan(ctx, "save.layerhashes")
+			defer spHashes.End()
 			hashID, hashSize, err := saveLayerHashes(a.stores.Meta, nn.StateDictOf(info.Net).LayerHashes())
 			if err != nil {
 				return res, err
@@ -92,7 +105,7 @@ func (a *Adaptive) Save(info SaveInfo) (SaveResult, error) {
 			return res, nil
 		}
 	}
-	return a.pua.Save(info)
+	return a.pua.SaveCtx(ctx, info)
 }
 
 // Recover implements SaveService. Because the adaptive approach may mix
@@ -101,7 +114,23 @@ func (a *Adaptive) Save(info SaveInfo) (SaveResult, error) {
 // recursion, parameter-update links merge their changed layers into the
 // recovered base, and provenance links re-execute their recorded training.
 func (a *Adaptive) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
-	return a.recover(id, opts, cacheFor(a.cache, opts), a.mpa.newDatasetMemo(), 0, false)
+	return a.RecoverCtx(context.Background(), id, opts)
+}
+
+// RecoverCtx is Recover with context propagation: a tracer carried by ctx
+// receives a "recover.adaptive" root span whose children follow the mixed
+// chain link by link.
+func (a *Adaptive) RecoverCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	ctx, sp := obs.StartSpan(ctx, "recover.adaptive")
+	sp.Arg("model", id)
+	defer sp.End()
+	rec, err := a.recover(ctx, id, opts, cacheFor(a.cache, opts), a.mpa.newDatasetMemo(), 0, false)
+	if err != nil {
+		noteRecover(RecoverTiming{}, err)
+		return nil, err
+	}
+	noteRecover(rec.Timing, nil)
+	return rec, nil
 }
 
 var _ StateRecoverer = (*Adaptive)(nil)
@@ -110,23 +139,47 @@ var _ StateRecoverer = (*Adaptive)(nil)
 // model is O(1); a miss runs the recursive net-level recovery and wraps
 // its result, re-reading only the target's metadata documents.
 func (a *Adaptive) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
+	return a.RecoverStateCtx(context.Background(), id, opts)
+}
+
+// RecoverStateCtx is RecoverState with context propagation.
+func (a *Adaptive) RecoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error) {
+	ctx, sp := obs.StartSpan(ctx, "recover.adaptive")
+	sp.Arg("model", id)
+	defer sp.End()
+	rs, err := a.recoverStateCtx(ctx, id, opts)
+	if err != nil {
+		noteRecover(RecoverTiming{}, err)
+		return nil, err
+	}
+	noteRecover(rs.Timing, nil)
+	return rs, nil
+}
+
+func (a *Adaptive) recoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error) {
 	cache := cacheFor(a.cache, opts)
 	t0 := time.Now()
 	if cache != nil {
-		if cr, ok := cache.Get(id); ok {
+		_, spCache := obs.StartSpan(ctx, "cache.get")
+		cr, ok := cache.Get(id)
+		spCache.End()
+		if ok {
 			return stateFromCache(id, cr, opts, RecoverTiming{Load: time.Since(t0)})
 		}
 	}
-	rec, err := a.recover(id, opts, cache, a.mpa.newDatasetMemo(), 0, true)
+	rec, err := a.recover(ctx, id, opts, cache, a.mpa.newDatasetMemo(), 0, true)
 	if err != nil {
 		return nil, err
 	}
 	t5 := time.Now()
+	_, spDoc := obs.StartSpan(ctx, "fetch")
 	doc, err := getModelDoc(a.stores.Meta, id)
 	if err != nil {
+		spDoc.End()
 		return nil, err
 	}
 	env, err := envFromDoc(a.stores.Meta, doc.EnvDocID)
+	spDoc.End()
 	if err != nil {
 		return nil, err
 	}
@@ -141,10 +194,13 @@ func (a *Adaptive) RecoverState(id string, opts RecoverOptions) (*RecoveredState
 // themselves recovered directly, which is exactly the U4 sweep pattern.
 // leafChecked means the depth-0 caller (RecoverState) already probed the
 // cache for id, so probing again would double-count the miss.
-func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache, dm *datasetMemo, depth int, leafChecked bool) (*RecoveredModel, error) {
+func (a *Adaptive) recover(ctx context.Context, id string, opts RecoverOptions, cache *RecoveryCache, dm *datasetMemo, depth int, leafChecked bool) (*RecoveredModel, error) {
 	t0 := time.Now()
 	if cache != nil && !(depth == 0 && leafChecked) {
-		if cr, ok := cache.Get(id); ok {
+		_, spCache := obs.StartSpan(ctx, "cache.get")
+		cr, ok := cache.Get(id)
+		spCache.End()
+		if ok {
 			return rebuildFromCache(id, cr, opts, RecoverTiming{Load: time.Since(t0)})
 		}
 	}
@@ -155,35 +211,41 @@ func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache,
 	var rec *RecoveredModel
 	switch {
 	case doc.CodeFileRef != "": // full snapshot anchors the recursion
-		if rec, err = recoverSnapshot(a.stores, id, opts); err != nil {
+		if rec, err = recoverSnapshot(ctx, a.stores, id, opts); err != nil {
 			return nil, err
 		}
 	case doc.BaseID == "":
 		return nil, fmt.Errorf("core: derived model %s has no base reference", id)
 	default:
-		if rec, err = a.recover(doc.BaseID, opts, cache, dm, depth+1, false); err != nil {
+		if rec, err = a.recover(ctx, doc.BaseID, opts, cache, dm, depth+1, false); err != nil {
 			return nil, err
 		}
 		switch {
 		case doc.ParamsFileRef != "": // parameter-update link
 			t0 := time.Now()
+			_, spFetch := obs.StartSpan(ctx, "fetch")
 			raw, err := loadStateDictBytes(a.stores.Files, doc.ParamsFileRef)
+			spFetch.End()
 			if err != nil {
 				return nil, err
 			}
 			rec.Timing.Load += time.Since(t0)
 			t1 := time.Now()
+			_, spDecode := obs.StartSpan(ctx, "decode")
 			update, err := nn.ReadStateDictBytes(raw)
 			if err != nil {
+				spDecode.End()
 				return nil, err
 			}
-			if err := applyUpdateToNet(rec.Net, update); err != nil {
+			err = applyUpdateToNet(rec.Net, update)
+			spDecode.End()
+			if err != nil {
 				return nil, err
 			}
 			restoreTrainable(rec.Net, doc.TrainablePrefixes)
 			rec.Timing.Recover += time.Since(t1)
 		case doc.ServiceDocID != "": // provenance link
-			timing, err := a.mpa.applyTrainingLink(id, doc, rec.Net, opts, dm)
+			timing, err := a.mpa.applyTrainingLink(ctx, id, doc, rec.Net, opts, dm)
 			if err != nil {
 				return nil, err
 			}
@@ -193,7 +255,10 @@ func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache,
 		}
 		if opts.VerifyChecksums && doc.StateHash != "" {
 			t3 := time.Now()
-			if got := nn.StateDictOf(rec.Net).Hash(); got != doc.StateHash {
+			_, spVerify := obs.StartSpan(ctx, "hash.verify")
+			got := nn.StateDictOf(rec.Net).Hash()
+			spVerify.End()
+			if got != doc.StateHash {
 				return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
 			}
 			rec.Timing.Verify += time.Since(t3)
@@ -207,12 +272,14 @@ func (a *Adaptive) recover(id string, opts RecoverOptions, cache *RecoveryCache,
 		// entry (a hit must still honor CheckEnv); its failure only costs
 		// the memoization.
 		t4 := time.Now()
+		_, spPut := obs.StartSpan(ctx, "cache.put")
 		if env, err := envFromDoc(a.stores.Meta, doc.EnvDocID); err == nil {
 			cache.Put(id, CachedRecovery{
 				Spec: rec.Spec, BaseID: doc.BaseID, State: nn.StateDictOf(rec.Net), Env: env,
 				TrainablePrefixes: doc.TrainablePrefixes, StateHash: doc.StateHash,
 			})
 		}
+		spPut.End()
 		rec.Timing.Recover += time.Since(t4)
 	}
 	return rec, nil

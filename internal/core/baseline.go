@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/filestore"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Baseline is the baseline approach (BA, Section 3.1): it saves every model
@@ -40,20 +42,34 @@ func (b *Baseline) Approach() string { return BaselineApproach }
 // reference, optional checksums) as JSON documents and the model code and
 // serialized parameters as files.
 func (b *Baseline) Save(info SaveInfo) (SaveResult, error) {
+	return b.SaveCtx(context.Background(), info)
+}
+
+// SaveCtx is Save with context propagation: a tracer carried by ctx
+// receives a "save.baseline" root span with per-phase children.
+func (b *Baseline) SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "save.baseline")
+	defer sp.End()
 	start := time.Now()
-	res, err := saveSnapshot(b.stores, info, BaselineApproach, false)
+	res, err := saveSnapshot(ctx, b.stores, info, BaselineApproach, false)
 	if err != nil {
+		noteSave(res, err)
 		return SaveResult{}, err
 	}
 	res.Duration = time.Since(start)
+	sp.Arg("model", res.ID)
+	noteSave(res, nil)
 	return res, nil
 }
+
+var _ ContextService = (*Baseline)(nil)
+var _ ContextStateRecoverer = (*Baseline)(nil)
 
 // saveSnapshot writes a full model snapshot. It is shared by the baseline
 // approach and by the first (underived) save of the other approaches.
 // withLayerHashes additionally persists the per-layer hash document the
 // parameter update approach needs for cheap diffing.
-func saveSnapshot(stores Stores, info SaveInfo, approach string, withLayerHashes bool) (SaveResult, error) {
+func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach string, withLayerHashes bool) (SaveResult, error) {
 	res := SaveResult{Approach: approach}
 
 	sd := nn.StateDictOf(info.Net)
@@ -64,11 +80,14 @@ func saveSnapshot(stores Stores, info SaveInfo, approach string, withLayerHashes
 	}
 
 	// Model code: the serialized architecture spec.
+	_, spCode := obs.StartSpan(ctx, "save.code")
 	codeBytes, err := info.Spec.MarshalText()
 	if err != nil {
+		spCode.End()
 		return SaveResult{}, err
 	}
 	codeID, codeSize, codeHash, err := stores.Files.SaveBytes(codeBytes)
+	spCode.End()
 	if err != nil {
 		return SaveResult{}, fmt.Errorf("core: saving model code: %w", err)
 	}
@@ -83,7 +102,9 @@ func saveSnapshot(stores Stores, info SaveInfo, approach string, withLayerHashes
 	// state hash and layer hashes below read the digest cache instead of
 	// re-hashing tensors.
 	needDigests := info.WithChecksums || withLayerHashes
+	_, spParams := obs.StartSpan(ctx, "save.params")
 	paramsID, paramsSize, paramsHash, err := saveStateDict(stores.Files, sd, needDigests)
+	spParams.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
@@ -96,12 +117,15 @@ func saveSnapshot(stores Stores, info SaveInfo, approach string, withLayerHashes
 	}
 
 	// Environment document.
+	_, spEnv := obs.StartSpan(ctx, "save.env")
 	env := captureEnv(info)
 	envDoc, envSize, err := docToMap(env)
 	if err != nil {
+		spEnv.End()
 		return SaveResult{}, err
 	}
 	envID, err := stores.Meta.Insert(ColEnvironments, envDoc)
+	spEnv.End()
 	if err != nil {
 		return SaveResult{}, fmt.Errorf("core: saving environment: %w", err)
 	}
@@ -110,7 +134,9 @@ func saveSnapshot(stores Stores, info SaveInfo, approach string, withLayerHashes
 
 	// Per-layer hashes for PUA saves.
 	if withLayerHashes {
+		_, spHashes := obs.StartSpan(ctx, "save.layerhashes")
 		hashID, hashSize, err := saveLayerHashes(stores.Meta, sd.LayerHashes())
+		spHashes.End()
 		if err != nil {
 			return SaveResult{}, err
 		}
@@ -119,11 +145,14 @@ func saveSnapshot(stores Stores, info SaveInfo, approach string, withLayerHashes
 	}
 
 	// Root model document.
+	_, spDoc := obs.StartSpan(ctx, "save.doc")
 	rootDoc, rootSize, err := docToMap(doc)
 	if err != nil {
+		spDoc.End()
 		return SaveResult{}, err
 	}
 	id, err := stores.Meta.Insert(ColModels, rootDoc)
+	spDoc.End()
 	if err != nil {
 		return SaveResult{}, fmt.Errorf("core: saving model document: %w", err)
 	}
@@ -174,14 +203,40 @@ func loadStateDictBytes(files *filestore.Store, id string) ([]byte, error) {
 // Recover implements SaveService. The baseline explicitly does not follow
 // base-model references: every model is self-contained.
 func (b *Baseline) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
-	return recoverSnapshotCached(b.stores, cacheFor(b.cache, opts), id, opts)
+	return b.RecoverCtx(context.Background(), id, opts)
+}
+
+// RecoverCtx is Recover with context propagation.
+func (b *Baseline) RecoverCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	rs, err := b.RecoverStateCtx(ctx, id, opts)
+	if err != nil {
+		return nil, err
+	}
+	return modelFromState(rs)
 }
 
 // RecoverState implements StateRecoverer: the state-level recovery the
 // serving tier uses. A cache hit is O(1) — no net instantiation, no
 // clone, no hashing pass (unless the cache is Paranoid).
 func (b *Baseline) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
-	return recoverSnapshotState(b.stores, cacheFor(b.cache, opts), id, opts)
+	return b.RecoverStateCtx(context.Background(), id, opts)
+}
+
+// RecoverStateCtx is RecoverState with context propagation: a tracer
+// carried by ctx receives a "recover.baseline" root span whose children
+// break the recovery into its phases (cache.get, fetch, decode, env.check,
+// seal, hash.verify, cache.put).
+func (b *Baseline) RecoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error) {
+	ctx, sp := obs.StartSpan(ctx, "recover.baseline")
+	sp.Arg("model", id)
+	defer sp.End()
+	rs, err := recoverSnapshotState(ctx, b.stores, cacheFor(b.cache, opts), id, opts)
+	if err != nil {
+		noteRecover(RecoverTiming{}, err)
+		return nil, err
+	}
+	noteRecover(rs.Timing, nil)
+	return rs, nil
 }
 
 var _ StateRecoverer = (*Baseline)(nil)
@@ -210,15 +265,15 @@ func rebuildFromCache(id string, cr CachedRecovery, opts RecoverOptions, timing 
 
 // recoverSnapshot rebuilds a model from a full snapshot document. It is
 // also the recursion anchor for the other approaches.
-func recoverSnapshot(stores Stores, id string, opts RecoverOptions) (*RecoveredModel, error) {
-	return recoverSnapshotCached(stores, nil, id, opts)
+func recoverSnapshot(ctx context.Context, stores Stores, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	return recoverSnapshotCached(ctx, stores, nil, id, opts)
 }
 
 // recoverSnapshotCached is recoverSnapshot with an optional recovery
 // cache: a hit skips the store entirely; a miss loads code and parameter
 // blobs concurrently, recovers, and populates the cache.
-func recoverSnapshotCached(stores Stores, cache *RecoveryCache, id string, opts RecoverOptions) (*RecoveredModel, error) {
-	rs, err := recoverSnapshotState(stores, cache, id, opts)
+func recoverSnapshotCached(ctx context.Context, stores Stores, cache *RecoveryCache, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	rs, err := recoverSnapshotState(ctx, stores, cache, id, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +287,7 @@ func recoverSnapshotCached(stores Stores, cache *RecoveryCache, id string, opts 
 // decodes, seals, verifies the checksum once, and populates the cache
 // zero-copy; the caller receives a copy-on-write view of the same sealed
 // state.
-func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts RecoverOptions) (*RecoveredState, error) {
+func recoverSnapshotState(ctx context.Context, stores Stores, cache *RecoveryCache, id string, opts RecoverOptions) (*RecoveredState, error) {
 	var timing RecoverTiming
 
 	// Load: documents and file bytes. A cache hit stands in for the whole
@@ -240,29 +295,38 @@ func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts R
 	// concurrently while the environment document round-trips.
 	t0 := time.Now()
 	if cache != nil {
-		if cr, ok := cache.Get(id); ok {
+		_, spCache := obs.StartSpan(ctx, "cache.get")
+		cr, ok := cache.Get(id)
+		spCache.End()
+		if ok {
 			timing.Load = time.Since(t0)
 			return stateFromCache(id, cr, opts, timing)
 		}
 	}
+	_, spFetch := obs.StartSpan(ctx, "fetch")
 	doc, err := getModelDoc(stores.Meta, id)
 	if err != nil {
+		spFetch.End()
 		return nil, err
 	}
 	if doc.ParamsFileRef == "" {
+		spFetch.End()
 		return nil, fmt.Errorf("core: model %s has no parameter snapshot (approach %s)", id, doc.Approach)
 	}
 	codeF := fetchBlob(stores.Files, doc.CodeFileRef)
 	paramsF := fetchMapped(stores.Files, doc.ParamsFileRef)
 	env, err := envFromDoc(stores.Meta, doc.EnvDocID)
 	if err != nil {
+		spFetch.End()
 		return nil, err
 	}
 	codeBytes, err := codeF.wait()
 	if err != nil {
+		spFetch.End()
 		return nil, fmt.Errorf("core: loading model code: %w", err)
 	}
 	params, err := paramsF.wait()
+	spFetch.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: loading parameters %s: %w", doc.ParamsFileRef, err)
 	}
@@ -271,11 +335,14 @@ func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts R
 	// Recover: deserialize (parallel tensor decode, or zero-copy aliasing
 	// over the mapping) and parse the architecture.
 	t1 := time.Now()
+	_, spDecode := obs.StartSpan(ctx, "decode")
 	spec, err := models.ParseSpec(codeBytes)
 	if err != nil {
+		spDecode.End()
 		return nil, err
 	}
 	sd, err := nn.ReadStateDictMapped(params.Bytes(), params)
+	spDecode.End()
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +351,10 @@ func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts R
 	// Check environment.
 	if opts.CheckEnv {
 		t2 := time.Now()
-		if err := environment.Check(env); err != nil {
+		_, spEnv := obs.StartSpan(ctx, "env.check")
+		err := environment.Check(env)
+		spEnv.End()
+		if err != nil {
 			return nil, err
 		}
 		timing.CheckEnv = time.Since(t2)
@@ -296,7 +366,9 @@ func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts R
 	// pass (previously the verify and the insert each paid their own).
 	if cache != nil {
 		t4 := time.Now()
+		_, spSeal := obs.StartSpan(ctx, "seal")
 		sd.Seal()
+		spSeal.End()
 		timing.Recover += time.Since(t4)
 	}
 
@@ -306,7 +378,10 @@ func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts R
 	// verification no longer needs a net at all.
 	if opts.VerifyChecksums && doc.StateHash != "" {
 		t3 := time.Now()
-		if got := sd.Hash(); got != doc.StateHash {
+		_, spVerify := obs.StartSpan(ctx, "hash.verify")
+		got := sd.Hash()
+		spVerify.End()
+		if got != doc.StateHash {
 			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
 		}
 		timing.Verify = time.Since(t3)
@@ -315,6 +390,7 @@ func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts R
 	state := sd
 	if cache != nil {
 		t4 := time.Now()
+		_, spPut := obs.StartSpan(ctx, "cache.put")
 		cache.Put(id, CachedRecovery{
 			Spec: spec, BaseID: doc.BaseID, State: sd, Env: env,
 			TrainablePrefixes: doc.TrainablePrefixes, StateHash: doc.StateHash,
@@ -322,6 +398,7 @@ func recoverSnapshotState(stores Stores, cache *RecoveryCache, id string, opts R
 		// Hand the caller a view, not the cached dict itself: mutating
 		// the owner in place would be visible through the cache.
 		state = sd.Share()
+		spPut.End()
 		timing.Recover += time.Since(t4)
 	}
 

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Save/recover pipeline metrics on the shared registry. They are recorded
+// once per public entry point (SaveCtx / RecoverStateCtx / RecoverCtx), so
+// a recursive recovery — a PUA chain walk, an MPA replay — counts as one
+// operation regardless of how many links it touched. Duration histograms
+// follow the repo convention of microsecond buckets ("_us").
+var (
+	mSaveOps     = obs.Default().Counter("core.save.ops")
+	mSaveErrors  = obs.Default().Counter("core.save.errors")
+	mSaveTotalUS = obs.Default().Histogram("core.save.total_us")
+
+	mRecoverOps      = obs.Default().Counter("core.recover.ops")
+	mRecoverErrors   = obs.Default().Counter("core.recover.errors")
+	mRecoverTotalUS  = obs.Default().Histogram("core.recover.total_us")
+	mRecoverLoadUS   = obs.Default().Histogram("core.recover.load_us")
+	mRecoverBuildUS  = obs.Default().Histogram("core.recover.recover_us")
+	mRecoverVerifyUS = obs.Default().Histogram("core.recover.verify_us")
+)
+
+// noteSave records one completed save entry point.
+func noteSave(res SaveResult, err error) {
+	mSaveOps.Inc()
+	if err != nil {
+		mSaveErrors.Inc()
+		return
+	}
+	mSaveTotalUS.ObserveDuration(res.Duration)
+}
+
+// noteRecover records one completed recovery entry point with its Figure 12
+// breakdown.
+func noteRecover(timing RecoverTiming, err error) {
+	mRecoverOps.Inc()
+	if err != nil {
+		mRecoverErrors.Inc()
+		return
+	}
+	mRecoverTotalUS.ObserveDuration(timing.Total())
+	mRecoverLoadUS.ObserveDuration(timing.Load)
+	mRecoverBuildUS.ObserveDuration(timing.Recover)
+	mRecoverVerifyUS.ObserveDuration(timing.Verify)
+}
+
+// ContextService is implemented by save services whose operations accept a
+// context for span propagation: when the context carries an obs.Tracer,
+// every save and recovery emits a root span with per-phase children
+// (fetch, decode, hash.verify, cache.get/put, train.replay, ...).
+// All four approaches implement it.
+type ContextService interface {
+	SaveService
+	SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, error)
+	RecoverCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredModel, error)
+}
+
+// ContextStateRecoverer is the context-aware counterpart of StateRecoverer.
+type ContextStateRecoverer interface {
+	StateRecoverer
+	RecoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error)
+}
+
+// SaveWith saves through svc, propagating ctx when the service supports it.
+// It lets callers thread a tracer through without caring which concrete
+// approach they hold.
+func SaveWith(ctx context.Context, svc SaveService, info SaveInfo) (SaveResult, error) {
+	if cs, ok := svc.(ContextService); ok {
+		return cs.SaveCtx(ctx, info)
+	}
+	return svc.Save(info)
+}
+
+// RecoverWith recovers through svc, propagating ctx when the service
+// supports it.
+func RecoverWith(ctx context.Context, svc SaveService, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	if cs, ok := svc.(ContextService); ok {
+		return cs.RecoverCtx(ctx, id, opts)
+	}
+	return svc.Recover(id, opts)
+}
+
+// RecoverStateWith recovers state through svc, propagating ctx when the
+// service supports it.
+func RecoverStateWith(ctx context.Context, svc StateRecoverer, id string, opts RecoverOptions) (*RecoveredState, error) {
+	if cs, ok := svc.(ContextStateRecoverer); ok {
+		return cs.RecoverStateCtx(ctx, id, opts)
+	}
+	return svc.RecoverState(id, opts)
+}

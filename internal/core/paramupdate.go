@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/merkle"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // ParamUpdate is the parameter update approach (PUA, Section 3.2): derived
@@ -45,9 +47,32 @@ func (p *ParamUpdate) Approach() string { return ParamUpdateApproach }
 // full snapshot, augmented with the per-layer hash document; a derived
 // model is saved as a parameter update.
 func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
+	return p.SaveCtx(context.Background(), info)
+}
+
+var _ ContextService = (*ParamUpdate)(nil)
+var _ ContextStateRecoverer = (*ParamUpdate)(nil)
+
+// SaveCtx is Save with context propagation: a tracer carried by ctx
+// receives a "save.pua" root span with per-phase children (for derived
+// saves notably "diff", the Merkle comparison that finds changed layers).
+func (p *ParamUpdate) SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "save.pua")
+	defer sp.End()
+	res, err := p.saveCtx(ctx, info)
+	if err != nil {
+		noteSave(res, err)
+		return SaveResult{}, err
+	}
+	sp.Arg("model", res.ID)
+	noteSave(res, nil)
+	return res, nil
+}
+
+func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
 	start := time.Now()
 	if info.BaseID == "" {
-		res, err := saveSnapshot(p.stores, info, ParamUpdateApproach, true)
+		res, err := saveSnapshot(ctx, p.stores, info, ParamUpdateApproach, true)
 		if err != nil {
 			return SaveResult{}, err
 		}
@@ -57,27 +82,33 @@ func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
 
 	res := SaveResult{Approach: ParamUpdateApproach}
 
-	// Load the base model's layer hashes (never its parameters).
+	// Load the base model's layer hashes (never its parameters) and find
+	// the changed layers against them.
+	_, spDiff := obs.StartSpan(ctx, "diff")
 	baseDoc, err := getModelDoc(p.stores.Meta, info.BaseID)
 	if err != nil {
+		spDiff.End()
 		return SaveResult{}, err
 	}
 	if baseDoc.HashDocID == "" {
+		spDiff.End()
 		return SaveResult{}, fmt.Errorf("core: base model %s has no layer hashes; was it saved with the parameter update approach?", info.BaseID)
 	}
 	baseHashes, err := loadLayerHashes(p.stores.Meta, baseDoc.HashDocID)
 	if err != nil {
+		spDiff.End()
 		return SaveResult{}, err
 	}
 
-	// Extract this model's layer hashes and find the changed layers. The
-	// precomputed digest cache makes this the derived save's only hashing
-	// pass: LayerHashes, the state hash below, and the update subset all
-	// read the same per-tensor digests.
+	// Extract this model's layer hashes and compare. The precomputed
+	// digest cache makes this the derived save's only hashing pass:
+	// LayerHashes, the state hash below, and the update subset all read
+	// the same per-tensor digests.
 	sd := nn.StateDictOf(info.Net)
 	sd.PrecomputeDigests()
 	curHashes := sd.LayerHashes()
 	changed, err := diffLayerHashes(baseHashes, curHashes, p.UseMerkle)
+	spDiff.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
@@ -99,12 +130,15 @@ func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
 
 	// Environment document (architecture is inherited from the base model,
 	// but the environment may differ and is always recorded).
+	_, spEnv := obs.StartSpan(ctx, "save.env")
 	env := captureEnv(info)
 	envDoc, envSize, err := docToMap(env)
 	if err != nil {
+		spEnv.End()
 		return SaveResult{}, err
 	}
 	envID, err := p.stores.Meta.Insert(ColEnvironments, envDoc)
+	spEnv.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
@@ -113,7 +147,9 @@ func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
 
 	// Serialized parameter update (digests inherited above, so the fused
 	// writer degrades to a plain serialize).
+	_, spParams := obs.StartSpan(ctx, "save.params")
 	paramsID, paramsSize, paramsHash, err := saveStateDict(p.stores.Files, update, true)
+	spParams.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
@@ -123,18 +159,23 @@ func (p *ParamUpdate) Save(info SaveInfo) (SaveResult, error) {
 
 	// Layer hashes for this model, so the next derived save can diff
 	// against us.
+	_, spHashes := obs.StartSpan(ctx, "save.layerhashes")
 	hashID, hashSize, err := saveLayerHashes(p.stores.Meta, curHashes)
+	spHashes.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
 	doc.HashDocID = hashID
 	res.MetaBytes += hashSize
 
+	_, spDoc := obs.StartSpan(ctx, "save.doc")
 	rootDoc, rootSize, err := docToMap(doc)
 	if err != nil {
+		spDoc.End()
 		return SaveResult{}, err
 	}
 	id, err := p.stores.Meta.Insert(ColModels, rootDoc)
+	spDoc.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
@@ -198,7 +239,12 @@ func toLeaves(hashes []nn.KeyHash) []merkle.Leaf {
 // ancestor: a leaf hit skips the store entirely, a mid-chain hit merges
 // only the suffix of updates onto the cached state.
 func (p *ParamUpdate) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
-	rs, err := p.RecoverState(id, opts)
+	return p.RecoverCtx(context.Background(), id, opts)
+}
+
+// RecoverCtx is Recover with context propagation.
+func (p *ParamUpdate) RecoverCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	rs, err := p.RecoverStateCtx(ctx, id, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -213,11 +259,47 @@ var _ StateRecoverer = (*ParamUpdate)(nil)
 // updates root-to-leaf, seals the result, verifies the checksum once, and
 // populates the cache zero-copy.
 func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
+	return p.RecoverStateCtx(context.Background(), id, opts)
+}
+
+// RecoverStateCtx is RecoverState with context propagation: a tracer
+// carried by ctx receives a "recover.pua" root span with the chain walk
+// broken into phases (cache.get, fetch, decode, env.check, seal,
+// hash.verify, cache.put).
+func (p *ParamUpdate) RecoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error) {
+	ctx, sp := obs.StartSpan(ctx, "recover.pua")
+	sp.Arg("model", id)
+	defer sp.End()
+	rs, err := p.recoverStateCtx(ctx, id, opts)
+	if err != nil {
+		noteRecover(RecoverTiming{}, err)
+		return nil, err
+	}
+	noteRecover(rs.Timing, nil)
+	return rs, nil
+}
+
+func (p *ParamUpdate) recoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error) {
 	cache := cacheFor(p.cache, opts)
 	var timing RecoverTiming
 
+	// Probe the cache for the requested model itself: a leaf hit is the
+	// O(1) path and skips the walk entirely.
+	t0 := time.Now()
+	if cache != nil {
+		_, spCache := obs.StartSpan(ctx, "cache.get")
+		cr, ok := cache.Get(id)
+		spCache.End()
+		if ok {
+			timing.Load = time.Since(t0)
+			return stateFromCache(id, cr, opts, timing)
+		}
+	}
+
 	// Walk the chain from the requested model toward the snapshot root,
 	// launching blob fetches as references appear (the "load" bucket).
+	// Ancestor cache probes happen inside the walk: a mid-chain hit
+	// terminates it.
 	type link struct {
 		id     string
 		doc    modelDoc
@@ -228,20 +310,17 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 	var chain []link
 	var cached *CachedRecovery // cached ancestor that terminated the walk
 	cur := id
-	t0 := time.Now()
+	_, spFetch := obs.StartSpan(ctx, "fetch")
 	for {
-		if cache != nil {
+		if cache != nil && len(chain) > 0 {
 			if cr, ok := cache.Get(cur); ok {
-				if len(chain) == 0 {
-					timing.Load = time.Since(t0)
-					return stateFromCache(id, cr, opts, timing)
-				}
 				cached = &cr
 				break
 			}
 		}
 		doc, err := getModelDoc(p.stores.Meta, cur)
 		if err != nil {
+			spFetch.End()
 			return nil, err
 		}
 		l := link{id: cur, doc: doc}
@@ -257,10 +336,12 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 			break // reached a full snapshot (derived saves carry no code file)
 		}
 		if doc.BaseID == "" {
+			spFetch.End()
 			return nil, fmt.Errorf("core: model %s is an update without a base reference", cur)
 		}
 		cur = doc.BaseID
 	}
+	spFetch.Arg("links", fmt.Sprint(len(chain)))
 
 	// Collect the in-flight fetches; this closes the load bucket.
 	params := make([]*filestore.Mapping, len(chain))
@@ -269,6 +350,7 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 	for i, l := range chain {
 		env, err := l.env.wait()
 		if err != nil {
+			spFetch.End()
 			return nil, err
 		}
 		if i == 0 {
@@ -276,15 +358,18 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 		}
 		if l.params != nil {
 			if params[i], err = l.params.wait(); err != nil {
+				spFetch.End()
 				return nil, fmt.Errorf("core: loading parameters %s: %w", l.doc.ParamsFileRef, err)
 			}
 		}
 		if l.code != nil {
 			if rootCode, err = l.code.wait(); err != nil {
+				spFetch.End()
 				return nil, fmt.Errorf("core: loading model code: %w", err)
 			}
 		}
 	}
+	spFetch.End()
 	timing.Load = time.Since(t0)
 
 	// Recover: deserialize the snapshot (or start from the cached
@@ -292,6 +377,7 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 	// shares tensors — from the mappings and from the cached ancestor —
 	// which is safe because every shared source is immutable.
 	t1 := time.Now()
+	_, spDecode := obs.StartSpan(ctx, "decode")
 	var spec models.Spec
 	var state *nn.StateDict
 	start := len(chain) - 1
@@ -301,10 +387,12 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 		var err error
 		spec, err = models.ParseSpec(rootCode)
 		if err != nil {
+			spDecode.End()
 			return nil, err
 		}
 		state, err = nn.ReadStateDictMapped(params[start].Bytes(), params[start])
 		if err != nil {
+			spDecode.End()
 			return nil, err
 		}
 		start--
@@ -312,16 +400,21 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 	for i := start; i >= 0; i-- {
 		update, err := nn.ReadStateDictMapped(params[i].Bytes(), params[i])
 		if err != nil {
+			spDecode.End()
 			return nil, fmt.Errorf("core: reading update %s: %w", chain[i].id, err)
 		}
 		state = nn.Merge(state, update)
 	}
+	spDecode.End()
 	target := chain[0]
 	timing.Recover = time.Since(t1)
 
 	if opts.CheckEnv {
 		t2 := time.Now()
-		if err := environment.Check(targetEnv); err != nil {
+		_, spEnv := obs.StartSpan(ctx, "env.check")
+		err := environment.Check(targetEnv)
+		spEnv.End()
+		if err != nil {
 			return nil, err
 		}
 		timing.CheckEnv = time.Since(t2)
@@ -331,12 +424,17 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 	// checksum below and the cache's insert hash.
 	if cache != nil {
 		t4 := time.Now()
+		_, spSeal := obs.StartSpan(ctx, "seal")
 		state.Seal()
+		spSeal.End()
 		timing.Recover += time.Since(t4)
 	}
 	if opts.VerifyChecksums && target.doc.StateHash != "" {
 		t3 := time.Now()
-		if got := state.Hash(); got != target.doc.StateHash {
+		_, spVerify := obs.StartSpan(ctx, "hash.verify")
+		got := state.Hash()
+		spVerify.End()
+		if got != target.doc.StateHash {
 			return nil, fmt.Errorf("core: checksum mismatch for model %s", id)
 		}
 		timing.Verify = time.Since(t3)
@@ -345,11 +443,13 @@ func (p *ParamUpdate) RecoverState(id string, opts RecoverOptions) (*RecoveredSt
 	out := state
 	if cache != nil {
 		t4 := time.Now()
+		_, spPut := obs.StartSpan(ctx, "cache.put")
 		cache.Put(id, CachedRecovery{
 			Spec: spec, BaseID: target.doc.BaseID, State: state, Env: targetEnv,
 			TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
 		})
 		out = state.Share()
+		spPut.End()
 		timing.Recover += time.Since(t4)
 	}
 	return &RecoveredState{

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/filestore"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/train"
 )
 
@@ -129,9 +131,31 @@ func (r *ProvenanceRecord) Train(net nn.Module) (train.Stats, error) {
 // (the BA logic); a derived model is saved as provenance data only — no
 // parameters.
 func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
+	return p.SaveCtx(context.Background(), info)
+}
+
+var _ ContextService = (*Provenance)(nil)
+var _ ContextStateRecoverer = (*Provenance)(nil)
+
+// SaveCtx is Save with context propagation: a tracer carried by ctx
+// receives a "save.mpa" root span with per-phase children.
+func (p *Provenance) SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "save.mpa")
+	defer sp.End()
+	res, err := p.saveCtx(ctx, info)
+	if err != nil {
+		noteSave(res, err)
+		return SaveResult{}, err
+	}
+	sp.Arg("model", res.ID)
+	noteSave(res, nil)
+	return res, nil
+}
+
+func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
 	start := time.Now()
 	if info.BaseID == "" {
-		res, err := saveSnapshot(p.stores, info, ProvenanceApproach, false)
+		res, err := saveSnapshot(ctx, p.stores, info, ProvenanceApproach, false)
 		if err != nil {
 			return SaveResult{}, err
 		}
@@ -157,12 +181,15 @@ func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
 	}
 
 	// Training environment document.
+	_, spEnv := obs.StartSpan(ctx, "save.env")
 	env := captureEnv(info)
 	envDoc, envSize, err := docToMap(env)
 	if err != nil {
+		spEnv.End()
 		return SaveResult{}, err
 	}
 	envID, err := p.stores.Meta.Insert(ColEnvironments, envDoc)
+	spEnv.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
@@ -177,7 +204,9 @@ func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
 		}
 		svcDoc.DatasetRef = "external:" + rec.externalRef
 	} else {
+		_, spDS := obs.StartSpan(ctx, "save.dataset")
 		dsID, dsSize, err := saveDatasetArchive(p.stores, rec.ds)
+		spDS.End()
 		if err != nil {
 			return SaveResult{}, err
 		}
@@ -189,7 +218,9 @@ func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
 	// recorded alongside the reference — the store computes it while
 	// writing, so it costs no extra read.
 	if len(rec.optState) > 0 {
+		_, spOpt := obs.StartSpan(ctx, "save.optstate")
 		stateID, stateSize, stateHash, err := p.stores.Files.SaveBytes(rec.optState)
+		spOpt.End()
 		if err != nil {
 			return SaveResult{}, fmt.Errorf("core: saving optimizer state: %w", err)
 		}
@@ -200,13 +231,16 @@ func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
 		res.FileBytes += stateSize
 	}
 
-	// Train service document.
+	// Train service document and root document.
+	_, spDoc := obs.StartSpan(ctx, "save.doc")
 	svcRaw, svcSize, err := docToMap(svcDoc)
 	if err != nil {
+		spDoc.End()
 		return SaveResult{}, err
 	}
 	svcID, err := p.stores.Meta.Insert(ColServices, svcRaw)
 	if err != nil {
+		spDoc.End()
 		return SaveResult{}, err
 	}
 	doc.ServiceDocID = svcID
@@ -214,9 +248,11 @@ func (p *Provenance) Save(info SaveInfo) (SaveResult, error) {
 
 	rootDoc, rootSize, err := docToMap(doc)
 	if err != nil {
+		spDoc.End()
 		return SaveResult{}, err
 	}
 	id, err := p.stores.Meta.Insert(ColModels, rootDoc)
+	spDoc.End()
 	if err != nil {
 		return SaveResult{}, err
 	}
@@ -259,7 +295,12 @@ func saveDatasetArchive(stores Stores, ds *dataset.Dataset) (string, int64, erro
 // it — for MPA this is the difference between re-executing the whole
 // history and re-executing one link.
 func (p *Provenance) Recover(id string, opts RecoverOptions) (*RecoveredModel, error) {
-	rs, err := p.RecoverState(id, opts)
+	return p.RecoverCtx(context.Background(), id, opts)
+}
+
+// RecoverCtx is Recover with context propagation.
+func (p *Provenance) RecoverCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredModel, error) {
+	rs, err := p.RecoverStateCtx(ctx, id, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -274,11 +315,35 @@ var _ StateRecoverer = (*Provenance)(nil)
 // zero-copy (the net is discarded, so no clone is needed) and returns a
 // shared view of it.
 func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredState, error) {
+	return p.RecoverStateCtx(context.Background(), id, opts)
+}
+
+// RecoverStateCtx is RecoverState with context propagation: a tracer
+// carried by ctx receives a "recover.mpa" root span with the chain walk,
+// the snapshot-root recovery, and one "train.replay" child per reproduced
+// training link.
+func (p *Provenance) RecoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error) {
+	ctx, sp := obs.StartSpan(ctx, "recover.mpa")
+	sp.Arg("model", id)
+	defer sp.End()
+	rs, err := p.recoverStateCtx(ctx, id, opts)
+	if err != nil {
+		noteRecover(RecoverTiming{}, err)
+		return nil, err
+	}
+	noteRecover(rs.Timing, nil)
+	return rs, nil
+}
+
+func (p *Provenance) recoverStateCtx(ctx context.Context, id string, opts RecoverOptions) (*RecoveredState, error) {
 	cache := cacheFor(p.cache, opts)
 	var timing RecoverTiming
 	t0 := time.Now()
 	if cache != nil {
-		if cr, ok := cache.Get(id); ok {
+		_, spCache := obs.StartSpan(ctx, "cache.get")
+		cr, ok := cache.Get(id)
+		spCache.End()
+		if ok {
 			timing.Load = time.Since(t0)
 			return stateFromCache(id, cr, opts, timing)
 		}
@@ -300,6 +365,7 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 	var chain []link
 	var cached *CachedRecovery // cached ancestor that terminated the walk
 	cur := id
+	_, spFetch := obs.StartSpan(ctx, "fetch")
 	for {
 		if cache != nil && len(chain) > 0 {
 			if cr, ok := cache.Get(cur); ok {
@@ -309,6 +375,7 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 		}
 		doc, err := getModelDoc(p.stores.Meta, cur)
 		if err != nil {
+			spFetch.End()
 			return nil, err
 		}
 		l := link{id: cur, doc: doc}
@@ -321,13 +388,16 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 			break
 		}
 		if doc.ServiceDocID == "" {
+			spFetch.End()
 			return nil, fmt.Errorf("core: model %s has neither snapshot nor provenance data", cur)
 		}
 		svcRaw, err := p.stores.Meta.Get(ColServices, doc.ServiceDocID)
 		if err != nil {
+			spFetch.End()
 			return nil, fmt.Errorf("core: loading train service %s: %w", doc.ServiceDocID, err)
 		}
 		if err := mapToDoc(svcRaw, &l.svcDoc); err != nil {
+			spFetch.End()
 			return nil, err
 		}
 		l.ds = dm.fetch(l.svcDoc.DatasetRef)
@@ -336,10 +406,12 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 		}
 		chain = append(chain, l)
 		if doc.BaseID == "" {
+			spFetch.End()
 			return nil, fmt.Errorf("core: provenance model %s has no base reference", cur)
 		}
 		cur = doc.BaseID
 	}
+	spFetch.Arg("links", fmt.Sprint(len(chain)))
 
 	// Collect the in-flight fetches; this closes the load bucket.
 	envs := make([]environment.Info, len(chain))
@@ -348,19 +420,23 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 	for i, l := range chain {
 		var err error
 		if envs[i], err = l.env.wait(); err != nil {
+			spFetch.End()
 			return nil, err
 		}
 		if l.ds != nil {
 			if datasets[i], err = l.ds.wait(); err != nil {
+				spFetch.End()
 				return nil, err
 			}
 		}
 		if l.optState != nil {
 			if optStates[i], err = l.optState.wait(); err != nil {
+				spFetch.End()
 				return nil, fmt.Errorf("core: loading optimizer state: %w", err)
 			}
 		}
 	}
+	spFetch.End()
 	timing.Load = time.Since(t0)
 
 	// Recover the chain's starting point: the cached ancestor's state, or
@@ -377,7 +453,7 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 		net, spec = base.Net, base.Spec
 	} else {
 		root := chain[start]
-		rootModel, err := recoverSnapshot(p.stores, root.id, RecoverOptions{CheckEnv: opts.CheckEnv, VerifyChecksums: opts.VerifyChecksums})
+		rootModel, err := recoverSnapshot(ctx, p.stores, root.id, RecoverOptions{CheckEnv: opts.CheckEnv, VerifyChecksums: opts.VerifyChecksums})
 		if err != nil {
 			return nil, err
 		}
@@ -389,10 +465,13 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 	// Reproduce each training step from the starting point to the target.
 	for i := start; i >= 0; i-- {
 		l := chain[i]
+		_, spReplay := obs.StartSpan(ctx, "train.replay")
+		spReplay.Arg("model", l.id)
 
 		if opts.CheckEnv {
 			t2 := time.Now()
 			if err := environment.Check(envs[i]); err != nil {
+				spReplay.End()
 				return nil, err
 			}
 			timing.CheckEnv += time.Since(t2)
@@ -402,20 +481,27 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 		restoreTrainable(net, l.doc.TrainablePrefixes)
 		svc, err := train.Restore(l.svcDoc, datasets[i], optStates[i])
 		if err != nil {
+			spReplay.End()
 			return nil, err
 		}
 		if _, err := svc.Train(net); err != nil {
+			spReplay.End()
 			return nil, fmt.Errorf("core: reproducing training for %s: %w", l.id, err)
 		}
 		timing.Recover += time.Since(t1)
 
 		if opts.VerifyChecksums && l.doc.StateHash != "" {
 			t3 := time.Now()
-			if got := nn.StateDictOf(net).Hash(); got != l.doc.StateHash {
+			_, spVerify := obs.StartSpan(ctx, "hash.verify")
+			got := nn.StateDictOf(net).Hash()
+			spVerify.End()
+			if got != l.doc.StateHash {
+				spReplay.End()
 				return nil, fmt.Errorf("core: reproduced training for %s did not match the saved model (non-deterministic training?)", l.id)
 			}
 			timing.Verify += time.Since(t3)
 		}
+		spReplay.End()
 	}
 
 	target := chain[0]
@@ -426,12 +512,14 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 		// The scratch net is discarded here — the caller receives the state,
 		// and Recover instantiates its own net from it — so the net's dict
 		// transfers into the cache zero-copy: seal, insert, share.
+		_, spPut := obs.StartSpan(ctx, "cache.put")
 		state.Seal()
 		cache.Put(id, CachedRecovery{
 			Spec: spec, BaseID: target.doc.BaseID, State: state, Env: envs[0],
 			TrainablePrefixes: target.doc.TrainablePrefixes, StateHash: target.doc.StateHash,
 		})
 		out = state.Share()
+		spPut.End()
 		timing.Recover += time.Since(t4)
 	}
 	return &RecoveredState{
@@ -446,7 +534,10 @@ func (p *Provenance) RecoverState(id string, opts RecoverOptions) (*RecoveredSta
 // the adaptive approach to apply a single provenance step inside a chain
 // that mixes approaches. The dataset is resolved through dm, so several
 // provenance links in one recovery share a single archive load.
-func (p *Provenance) applyTrainingLink(id string, doc modelDoc, net nn.Module, opts RecoverOptions, dm *datasetMemo) (RecoverTiming, error) {
+func (p *Provenance) applyTrainingLink(ctx context.Context, id string, doc modelDoc, net nn.Module, opts RecoverOptions, dm *datasetMemo) (RecoverTiming, error) {
+	_, sp := obs.StartSpan(ctx, "train.replay")
+	sp.Arg("model", id)
+	defer sp.End()
 	var timing RecoverTiming
 	t0 := time.Now()
 	svcRaw, err := p.stores.Meta.Get(ColServices, doc.ServiceDocID)

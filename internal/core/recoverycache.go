@@ -7,6 +7,19 @@ import (
 	"repro/internal/environment"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// Registry mirrors of the per-cache stats: process-wide cache traffic
+// aggregated across every RecoveryCache instance, so one obs snapshot
+// answers "did serving hit the cache" without plumbing Stats() around.
+var (
+	mCacheHits      = obs.Default().Counter("core.cache.hits")
+	mCacheMisses    = obs.Default().Counter("core.cache.misses")
+	mCachePuts      = obs.Default().Counter("core.cache.puts")
+	mCacheEvictions = obs.Default().Counter("core.cache.evictions")
+	mCacheCorrupt   = obs.Default().Counter("core.cache.corrupt")
+	mCacheCowHits   = obs.Default().Counter("core.cache.cow_hits")
 )
 
 // RecoveryCache memoizes recovered model states keyed by model identifier,
@@ -149,6 +162,7 @@ func (c *RecoveryCache) Get(id string) (CachedRecovery, bool) {
 	e, ok := c.entries[id]
 	if !ok {
 		c.stats.Misses++
+		mCacheMisses.Inc()
 		c.mu.Unlock()
 		return CachedRecovery{}, false
 	}
@@ -172,6 +186,7 @@ func (c *RecoveryCache) Get(id string) (CachedRecovery, bool) {
 	c.mu.Lock()
 	c.stats.Hits++
 	c.mu.Unlock()
+	mCacheHits.Inc()
 	return out, true
 }
 
@@ -180,6 +195,7 @@ func (c *RecoveryCache) noteCow() {
 	c.mu.Lock()
 	c.stats.CowHits++
 	c.mu.Unlock()
+	mCacheCowHits.Inc()
 }
 
 // drop removes a corrupted entry (if still present) and counts it.
@@ -188,6 +204,8 @@ func (c *RecoveryCache) drop(e *cacheEntry) {
 	defer c.mu.Unlock()
 	c.stats.Corrupt++
 	c.stats.Misses++
+	mCacheCorrupt.Inc()
+	mCacheMisses.Inc()
 	if cur, ok := c.entries[e.id]; ok && cur == e {
 		c.removeLocked(cur)
 	}
@@ -228,6 +246,7 @@ func (c *RecoveryCache) Put(id string, rec CachedRecovery) {
 	e.elem = c.lru.PushFront(e)
 	c.curBytes += e.bytes
 	c.stats.Puts++
+	mCachePuts.Inc()
 	for c.curBytes > c.maxBytes {
 		oldest := c.lru.Back()
 		if oldest == nil {
@@ -235,6 +254,7 @@ func (c *RecoveryCache) Put(id string, rec CachedRecovery) {
 		}
 		c.removeLocked(oldest.Value.(*cacheEntry))
 		c.stats.Evictions++
+		mCacheEvictions.Inc()
 	}
 }
 

@@ -4,8 +4,25 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Client-side wire metrics on the shared registry. One set for the whole
+// process: the evaluation flows run many clients, and the question a
+// snapshot answers is "what did the metadata tier cost this run".
+var (
+	cliOps      = obs.Default().Counter("docdb.client.ops")
+	cliErrors   = obs.Default().Counter("docdb.client.errors")
+	cliRetries  = obs.Default().Counter("docdb.client.retries")
+	cliPoisoned = obs.Default().Counter("docdb.client.poisoned_conns")
+	cliDeadline = obs.Default().Counter("docdb.client.deadline_hits")
+	cliBytesOut = obs.Default().Counter("docdb.client.bytes_out")
+	cliBytesIn  = obs.Default().Counter("docdb.client.bytes_in")
+	cliLatency  = obs.Default().Histogram("docdb.client.op_us")
 )
 
 // ClientOptions tune the network client's fault-tolerance behavior. The
@@ -105,6 +122,7 @@ func (c *Client) poison() {
 		//mmlint:ignore closecheck the connection is being discarded after a frame error; that frame error, not the close result, is what the caller reports
 		c.conn.Close()
 		c.conn = nil
+		cliPoisoned.Inc()
 	}
 }
 
@@ -115,11 +133,15 @@ func (c *Client) attempt(req request) (response, error) {
 	if err := c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout)); err != nil {
 		return response{}, fmt.Errorf("docdb: arming deadline: %w", err)
 	}
-	if err := writeFrame(c.conn, req); err != nil {
+	n, err := writeFrame(c.conn, req)
+	cliBytesOut.Add(int64(n))
+	if err != nil {
 		return response{}, fmt.Errorf("docdb: sending request: %w", err)
 	}
 	var resp response
-	if err := readFrame(c.conn, &resp); err != nil {
+	n, err = readFrame(c.conn, &resp)
+	cliBytesIn.Add(int64(n))
+	if err != nil {
 		return response{}, fmt.Errorf("docdb: reading response: %w", err)
 	}
 	return resp, nil
@@ -132,9 +154,13 @@ func (c *Client) roundTrip(req request) (response, error) {
 	if c.closed {
 		return response{}, errors.New("docdb: client closed")
 	}
+	cliOps.Inc()
+	t0 := time.Now()
+	defer func() { cliLatency.ObserveDuration(time.Since(t0)) }()
 	var lastErr error
 	for att := 0; att <= c.opts.MaxRetries; att++ {
 		if att > 0 {
+			cliRetries.Inc()
 			backoff := c.opts.MaxBackoff
 			if shift := att - 1; shift < 16 && c.opts.RetryBackoff<<shift < backoff {
 				backoff = c.opts.RetryBackoff << shift
@@ -154,6 +180,9 @@ func (c *Client) roundTrip(req request) (response, error) {
 		}
 		resp, err := c.attempt(req)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				cliDeadline.Inc()
+			}
 			c.poison()
 			lastErr = err
 			if !retryable(req) {
@@ -172,6 +201,7 @@ func (c *Client) roundTrip(req request) (response, error) {
 		}
 		return resp, nil
 	}
+	cliErrors.Inc()
 	return response{}, fmt.Errorf("docdb: %s failed after %d attempts: %w", req.Op, c.opts.MaxRetries+1, lastErr)
 }
 

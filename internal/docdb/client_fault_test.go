@@ -16,11 +16,11 @@ import (
 // caller. It exists to demonstrate the desync bug class the rewritten
 // client eliminates.
 func oldRoundTrip(conn net.Conn, req request) (response, error) {
-	if err := writeFrame(conn, req); err != nil {
+	if _, err := writeFrame(conn, req); err != nil {
 		return response{}, err
 	}
 	var resp response
-	if err := readFrame(conn, &resp); err != nil {
+	if _, err := readFrame(conn, &resp); err != nil {
 		return response{}, err
 	}
 	return resp, nil
@@ -56,14 +56,14 @@ func TestOldClientMispairsResponsesAfterFrameError(t *testing.T) {
 	// (modeled by an already-expired read deadline). The old client
 	// returned the error but kept the connection; doc1's response is still
 	// in flight.
-	if err := writeFrame(conn, request{Op: "get", Collection: "models", ID: "doc1"}); err != nil {
+	if _, err := writeFrame(conn, request{Op: "get", Collection: "models", ID: "doc1"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := conn.SetReadDeadline(time.Now().Add(-time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	var resp response
-	if err := readFrame(conn, &resp); err == nil {
+	if _, err := readFrame(conn, &resp); err == nil {
 		t.Fatal("expected the simulated transient read failure")
 	}
 	if err := conn.SetReadDeadline(time.Time{}); err != nil {

@@ -2,12 +2,27 @@ package docdb
 
 import (
 	"errors"
+	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Server-side wire metrics on the shared registry, the other half of the
+// client counters: a /metrics scrape on a live mmserver shows ops, bytes,
+// and dedup traffic moving under load.
+var (
+	srvOps       = obs.Default().Counter("docdb.server.ops")
+	srvErrors    = obs.Default().Counter("docdb.server.op_errors")
+	srvConnErrs  = obs.Default().Counter("docdb.server.conn_errors")
+	srvDedupHits = obs.Default().Counter("docdb.server.dedup_hits")
+	srvBytesIn   = obs.Default().Counter("docdb.server.bytes_in")
+	srvBytesOut  = obs.Default().Counter("docdb.server.bytes_out")
+	srvConns     = obs.Default().Gauge("docdb.server.conns")
 )
 
 // dedupLimit bounds how many insert responses the server remembers for
@@ -175,6 +190,7 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	srvConns.Add(1)
 	defer s.wg.Done()
 	defer func() {
 		//mmlint:ignore closecheck every response is already error-checked in the serve loop; close is teardown
@@ -183,6 +199,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		<-s.sem
+		srvConns.Add(-1)
 	}()
 	for {
 		// Arm the read deadline per frame, mirroring the client's OpTimeout
@@ -190,27 +207,34 @@ func (s *Server) serveConn(conn net.Conn) {
 		// forever is cut off instead of pinning this goroutine.
 		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		var req request
-		if err := readFrame(conn, &req); err != nil {
+		n, err := readFrame(conn, &req)
+		srvBytesIn.Add(int64(n))
+		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) &&
 				!errors.Is(err, os.ErrDeadlineExceeded) {
-				log.Printf("docdb: connection error: %v", err)
+				srvConnErrs.Inc()
+				obs.Warnf("docdb: connection error: %v", err)
 			}
 			return
 		}
 		resp := s.handle(req)
 		_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
-		if err := writeFrame(conn, resp); err != nil {
+		n, err = writeFrame(conn, resp)
+		srvBytesOut.Add(int64(n))
+		if err != nil {
 			return
 		}
 	}
 }
 
 func (s *Server) handle(req request) response {
-	fail := func(err error) response { return response{Error: err.Error()} }
+	srvOps.Inc()
+	fail := func(err error) response { srvErrors.Inc(); return response{Error: err.Error()} }
 	switch req.Op {
 	case "insert":
 		if req.ReqID != "" {
 			if resp, ok := s.dedup.lookup(req.ReqID); ok {
+				srvDedupHits.Inc()
 				return resp
 			}
 		}
@@ -262,6 +286,47 @@ func (s *Server) handle(req request) response {
 	default:
 		return response{Error: "docdb: unknown operation " + req.Op}
 	}
+}
+
+// Shutdown stops accepting new connections and waits up to timeout for
+// in-flight connections to drain on their own (a draining client sees its
+// current request answered, then EOF on its next read once it closes).
+// Connections still live when the timeout expires are force-closed, Close
+// style. Shutdown returns nil when the drain completed in time and an
+// error naming the connections it had to cut otherwise. The backend store
+// is not closed.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	lnErr := s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var forced int
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		forced = len(s.conns)
+		for c := range s.conns {
+			//mmlint:ignore closecheck drain timeout expired; cutting the conn is the point and the peer sees EOF
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if forced > 0 {
+		return fmt.Errorf("docdb: drain timeout after %v: force-closed %d connections", timeout, forced)
+	}
+	return lnErr
 }
 
 // Close stops accepting connections, closes live connections, and waits for

@@ -41,39 +41,42 @@ type response struct {
 	Stats *Stats     `json:"stats,omitempty"`
 }
 
-// writeFrame sends v as one frame through a single Write call. Coalescing
-// the header and body matters for failure atomicity: with two writes, a
-// fault between them leaves the peer holding a header whose body never
-// arrives, and the peer then misreads the *next* frame's bytes as that
-// body. One write either delivers a parseable prefix-consistent frame or
-// fails before anything usable is on the wire.
-func writeFrame(w io.Writer, v any) error {
+// writeFrame sends v as one frame through a single Write call and returns
+// the frame size put on the wire (header included), so callers can meter
+// outbound bytes. Coalescing the header and body matters for failure
+// atomicity: with two writes, a fault between them leaves the peer holding
+// a header whose body never arrives, and the peer then misreads the *next*
+// frame's bytes as that body. One write either delivers a parseable
+// prefix-consistent frame or fails before anything usable is on the wire.
+func writeFrame(w io.Writer, v any) (int, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("docdb: encoding frame: %w", err)
+		return 0, fmt.Errorf("docdb: encoding frame: %w", err)
 	}
 	if len(b) > maxFrame {
-		return fmt.Errorf("docdb: frame of %d bytes exceeds limit", len(b))
+		return 0, fmt.Errorf("docdb: frame of %d bytes exceeds limit", len(b))
 	}
 	msg := make([]byte, 4+len(b))
 	binary.LittleEndian.PutUint32(msg[:4], uint32(len(b)))
 	copy(msg[4:], b)
-	_, err = w.Write(msg)
-	return err
+	n, err := w.Write(msg)
+	return n, err
 }
 
-func readFrame(r io.Reader, v any) error {
+// readFrame reads one frame into v and returns the frame size taken off
+// the wire (header included).
+func readFrame(r io.Reader, v any) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("docdb: frame of %d bytes exceeds limit", n)
+		return len(hdr), fmt.Errorf("docdb: frame of %d bytes exceeds limit", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+		return len(hdr), err
 	}
-	return json.Unmarshal(buf, v)
+	return len(hdr) + len(buf), json.Unmarshal(buf, v)
 }

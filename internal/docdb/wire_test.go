@@ -10,11 +10,11 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := request{Op: "get", Collection: "c", ID: "x"}
-	if err := writeFrame(&buf, in); err != nil {
+	if _, err := writeFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
 	var out request
-	if err := readFrame(&buf, &out); err != nil {
+	if _, err := readFrame(&buf, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Op != in.Op || out.Collection != in.Collection || out.ID != in.ID {
@@ -37,14 +37,14 @@ func (w *countingWriter) Write(b []byte) (int, error) {
 
 func TestWriteFrameIsSingleWrite(t *testing.T) {
 	var w countingWriter
-	if err := writeFrame(&w, request{Op: "put", Collection: "models", ID: "x", Doc: Document{"k": "v"}}); err != nil {
+	if _, err := writeFrame(&w, request{Op: "put", Collection: "models", ID: "x", Doc: Document{"k": "v"}}); err != nil {
 		t.Fatal(err)
 	}
 	if w.calls != 1 {
 		t.Fatalf("frame took %d writes; header and body must go out in one", w.calls)
 	}
 	var out request
-	if err := readFrame(&w.Buffer, &out); err != nil {
+	if _, err := readFrame(&w.Buffer, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Op != "put" || out.ID != "x" {
@@ -57,11 +57,11 @@ func TestReadFrameRejectsTruncatedHeader(t *testing.T) {
 	// hang or fabricate a frame.
 	for _, n := range []int{0, 1, 3} {
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, request{Op: "ping"}); err != nil {
+		if _, err := writeFrame(&buf, request{Op: "ping"}); err != nil {
 			t.Fatal(err)
 		}
 		var out request
-		if err := readFrame(bytes.NewReader(buf.Bytes()[:n]), &out); err == nil {
+		if _, err := readFrame(bytes.NewReader(buf.Bytes()[:n]), &out); err == nil {
 			t.Fatalf("expected error for %d-byte header", n)
 		}
 	}
@@ -71,19 +71,19 @@ func TestReadFrameRejectsOversizedLength(t *testing.T) {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
 	var out request
-	if err := readFrame(bytes.NewReader(hdr[:]), &out); err == nil {
+	if _, err := readFrame(bytes.NewReader(hdr[:]), &out); err == nil {
 		t.Fatal("expected error for oversized frame")
 	}
 }
 
 func TestReadFrameRejectsTruncatedBody(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, request{Op: "ping"}); err != nil {
+	if _, err := writeFrame(&buf, request{Op: "ping"}); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
 	var out request
-	if err := readFrame(bytes.NewReader(raw[:len(raw)-2]), &out); err == nil {
+	if _, err := readFrame(bytes.NewReader(raw[:len(raw)-2]), &out); err == nil {
 		t.Fatal("expected error for truncated body")
 	}
 }
@@ -96,13 +96,13 @@ func TestReadFrameRejectsGarbageJSON(t *testing.T) {
 	buf.Write(hdr[:])
 	buf.Write(body)
 	var out request
-	if err := readFrame(&buf, &out); err == nil {
+	if _, err := readFrame(&buf, &out); err == nil {
 		t.Fatal("expected error for bad JSON")
 	}
 }
 
 func TestWriteFrameRejectsUnmarshalable(t *testing.T) {
-	if err := writeFrame(&bytes.Buffer{}, func() {}); err == nil {
+	if _, err := writeFrame(&bytes.Buffer{}, func() {}); err == nil {
 		t.Fatal("expected error for unmarshalable value")
 	}
 }

@@ -13,6 +13,7 @@
 package evalflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/train"
 )
 
@@ -160,6 +162,12 @@ type Result struct {
 	// the flow ran without a cache): hits vs misses, shared vs COW'd hits,
 	// Paranoid corruption drops, and final occupancy.
 	CacheStats *core.RecoveryCacheStats
+	// Metrics is the delta of the process-wide obs registry across this
+	// run: docdb wire traffic, file store and cache counters, digest ops,
+	// and save/recover histograms attributable to the flow. Concurrent
+	// flows in one process share the registry, so attribute deltas only
+	// when runs do not overlap.
+	Metrics *obs.Snapshot
 }
 
 // newService builds the approach's save service.
@@ -180,6 +188,24 @@ func newService(approach string, stores core.Stores) (core.SaveService, error) {
 
 // Run executes the evaluation flow and returns its measurements.
 func Run(provider StoreProvider, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), provider, cfg)
+}
+
+// RunCtx is Run with context propagation: a tracer carried by ctx receives
+// the save and recovery spans of every flow step, and the Result carries
+// the registry metrics delta of the whole run.
+func RunCtx(ctx context.Context, provider StoreProvider, cfg Config) (*Result, error) {
+	before := obs.Default().Snapshot()
+	res, err := runFlow(ctx, provider, cfg)
+	if err != nil {
+		return nil, err
+	}
+	delta := obs.Default().Snapshot().Delta(before)
+	res.Metrics = &delta
+	return res, nil
+}
+
+func runFlow(ctx context.Context, provider StoreProvider, cfg Config) (*Result, error) {
 	if cfg.Nodes < 1 || cfg.U3PerPhase < 1 {
 		return nil, fmt.Errorf("evalflow: invalid config: %d nodes, %d U3 iterations", cfg.Nodes, cfg.U3PerPhase)
 	}
@@ -224,7 +250,7 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	applyRelation(cfg, initial)
-	u1Save, err := serverSvc.Save(core.SaveInfo{Spec: spec, Net: initial, WithChecksums: cfg.WithChecksums})
+	u1Save, err := core.SaveWith(ctx, serverSvc, core.SaveInfo{Spec: spec, Net: initial, WithChecksums: cfg.WithChecksums})
 	if err != nil {
 		return nil, fmt.Errorf("evalflow: U1 save: %w", err)
 	}
@@ -232,7 +258,7 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 	u1State := nn.StateDictOf(initial).Clone()
 
 	// Phase 1: every node derives from U1.
-	phase1, err := runNodesPhase(provider, cfg, spec, 1, u1Save.ID, u1State, u3ds)
+	phase1, err := runNodesPhase(ctx, provider, cfg, spec, 1, u1Save.ID, u1State, u3ds)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +278,7 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("evalflow: U2 training: %w", err)
 	}
-	u2Save, err := serverSvc.Save(core.SaveInfo{
+	u2Save, err := core.SaveWith(ctx, serverSvc, core.SaveInfo{
 		Spec: spec, Net: u2Net, BaseID: u1Save.ID,
 		WithChecksums: cfg.WithChecksums, Provenance: u2Rec,
 	})
@@ -263,7 +289,7 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 	u2State := nn.StateDictOf(u2Net).Clone()
 
 	// Phase 2: every node derives from U2.
-	phase2, err := runNodesPhase(provider, cfg, spec, 2, u2Save.ID, u2State, u3ds)
+	phase2, err := runNodesPhase(ctx, provider, cfg, spec, 2, u2Save.ID, u2State, u3ds)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +297,7 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 
 	// U4: recover every saved model and record the TTR.
 	if cfg.MeasureTTR {
-		if err := runU4(serverSvc, cfg, res.Measurements); err != nil {
+		if err := runU4(ctx, serverSvc, cfg, res.Measurements); err != nil {
 			return nil, err
 		}
 	}
@@ -286,10 +312,10 @@ func Run(provider StoreProvider, cfg Config) (*Result, error) {
 // cfg.RecoverConcurrency workers. Workers claim measurement indexes from a
 // shared atomic counter; each index is written by exactly one worker, so
 // the sweep needs no further coordination beyond the final WaitGroup.
-func runU4(svc core.SaveService, cfg Config, ms []Measurement) error {
+func runU4(ctx context.Context, svc core.SaveService, cfg Config, ms []Measurement) error {
 	recoverOne := func(i int) error {
 		m := &ms[i]
-		rec, err := svc.Recover(m.ModelID, cfg.RecoverOpts)
+		rec, err := core.RecoverWith(ctx, svc, m.ModelID, cfg.RecoverOpts)
 		if err != nil {
 			return fmt.Errorf("evalflow: recovering %s (%s): %w", m.ModelID, m.UseCase, err)
 		}
@@ -364,7 +390,7 @@ func trainStep(cfg Config, net nn.Module, ds *dataset.Dataset, seed uint64) (*co
 
 // runNodesPhase executes one U3 phase on all nodes concurrently. Each node
 // clones the phase's base state, then alternates training and saving.
-func runNodesPhase(provider StoreProvider, cfg Config, spec models.Spec, phase int, baseID string, baseState *nn.StateDict, ds *dataset.Dataset) ([]Measurement, error) {
+func runNodesPhase(ctx context.Context, provider StoreProvider, cfg Config, spec models.Spec, phase int, baseID string, baseState *nn.StateDict, ds *dataset.Dataset) ([]Measurement, error) {
 	type nodeOut struct {
 		node int
 		ms   []Measurement
@@ -373,7 +399,7 @@ func runNodesPhase(provider StoreProvider, cfg Config, spec models.Spec, phase i
 	out := make(chan nodeOut, cfg.Nodes)
 	if cfg.SequentialNodes {
 		for node := 0; node < cfg.Nodes; node++ {
-			ms, err := runOneNode(provider, cfg, spec, phase, node, baseID, baseState, ds)
+			ms, err := runOneNode(ctx, provider, cfg, spec, phase, node, baseID, baseState, ds)
 			out <- nodeOut{node: node, ms: ms, err: err}
 		}
 	} else {
@@ -382,7 +408,7 @@ func runNodesPhase(provider StoreProvider, cfg Config, spec models.Spec, phase i
 			wg.Add(1)
 			go func(node int) {
 				defer wg.Done()
-				ms, err := runOneNode(provider, cfg, spec, phase, node, baseID, baseState, ds)
+				ms, err := runOneNode(ctx, provider, cfg, spec, phase, node, baseID, baseState, ds)
 				out <- nodeOut{node: node, ms: ms, err: err}
 			}(node)
 		}
@@ -411,7 +437,7 @@ func runNodesPhase(provider StoreProvider, cfg Config, spec models.Spec, phase i
 	return all, nil
 }
 
-func runOneNode(provider StoreProvider, cfg Config, spec models.Spec, phase, node int, baseID string, baseState *nn.StateDict, ds *dataset.Dataset) ([]Measurement, error) {
+func runOneNode(ctx context.Context, provider StoreProvider, cfg Config, spec models.Spec, phase, node int, baseID string, baseState *nn.StateDict, ds *dataset.Dataset) ([]Measurement, error) {
 	stores, cleanup, err := provider()
 	if err != nil {
 		return nil, err
@@ -439,7 +465,7 @@ func runOneNode(provider StoreProvider, cfg Config, spec models.Spec, phase, nod
 		if err != nil {
 			return nil, fmt.Errorf("evalflow: node %d U3-%d-%d training: %w", node, phase, iter, err)
 		}
-		save, err := svc.Save(core.SaveInfo{
+		save, err := core.SaveWith(ctx, svc, core.SaveInfo{
 			Spec: spec, Net: net, BaseID: prevID,
 			WithChecksums: cfg.WithChecksums, Provenance: rec,
 		})

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/evalflow"
 	"repro/internal/filestore"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 // Opts control experiment scale. The zero value is not usable; start from
@@ -73,6 +75,19 @@ type Opts struct {
 	// ServeInferEvery makes every k-th serve request run an inference on
 	// the recovered net (0 = 3).
 	ServeInferEvery int
+	// Tracer, when set, receives a span per save/recovery an experiment
+	// performs (mmbench -trace writes the collected spans as a Chrome
+	// trace-event file).
+	Tracer *obs.Tracer
+}
+
+// ctx returns the context experiment flows run under: the background
+// context, carrying o.Tracer when one is configured.
+func (o Opts) ctx() context.Context {
+	if o.Tracer == nil {
+		return context.Background()
+	}
+	return obs.WithTracer(context.Background(), o.Tracer)
 }
 
 // Default returns fast settings suitable for benchmarks and CI: small

@@ -61,7 +61,7 @@ func AblationFaults(w io.Writer, o Opts) error {
 		cfg.MeasureTTR = true
 		cfg.SequentialNodes = true
 		start := time.Now()
-		res, err := evalflow.Run(provider, cfg)
+		res, err := evalflow.RunCtx(o.ctx(), provider, cfg)
 		elapsed := time.Since(start)
 		cleanup()
 		tmp.cleanup()

@@ -57,7 +57,7 @@ func distFlow(o Opts, approach string, recover bool) (evalflow.MedianOfRuns, err
 		// Sequential nodes match the paper's contention-free per-node
 		// timings (its single node machine runs one save at a time).
 		cfg.SequentialNodes = true
-		res, err := evalflow.Run(provider, cfg)
+		res, err := evalflow.RunCtx(o.ctx(), provider, cfg)
 		cleanup()
 		tmp.cleanup()
 		if err != nil {
@@ -123,7 +123,7 @@ func distFigure(w io.Writer, o Opts, recover bool) error {
 		return err
 	}
 	if !recover {
-		return nil
+		return obsBreakdown(w, perApproach)
 	}
 	// Per-bucket breakdown of the deepest recovery (the last U3 of phase
 	// 2 has the longest chain): where BA pays in load, PUA and MPA pay in
@@ -150,7 +150,36 @@ func distFigure(w io.Writer, o Opts, recover bool) error {
 					ap, s.Hits, s.SharedHits, s.CowHits, s.Misses, s.Puts, s.Evictions, s.Corrupt, s.Bytes)
 			}
 		}
-		return tw.Flush()
+		if err := tw.Flush(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return obsBreakdown(w, perApproach)
+}
+
+// obsBreakdown prints what each approach's last run cost the layers under
+// the flow, from the registry delta evalflow attaches to every Result:
+// metadata-network traffic (including the retries and server-side dedup
+// hits a flaky link provokes), file-store reads, recovery-cache traffic,
+// and hashing work. Where TTS/TTR say how long a flow took, this table
+// says where the time could have gone.
+func obsBreakdown(w io.Writer, perApproach map[string]evalflow.MedianOfRuns) error {
+	tw := newTab(w)
+	fmt.Fprint(tw, "\nOBS\tDB OPS\tRETRIES\tDB OUT\tDB IN\tDEDUP\tFILE READS\tCACHE HIT/MISS\tDIGESTS\n")
+	for _, ap := range approaches {
+		runs := perApproach[ap].Runs
+		if len(runs) == 0 || runs[len(runs)-1].Metrics == nil {
+			continue
+		}
+		c := runs[len(runs)-1].Metrics.Counters
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d/%d\t%d\n",
+			ap,
+			c["docdb.client.ops"], c["docdb.client.retries"],
+			mb(c["docdb.client.bytes_out"]), mb(c["docdb.client.bytes_in"]),
+			c["docdb.server.dedup_hits"],
+			c["filestore.reads"]+c["filestore.mmap_opens"],
+			c["core.cache.hits"], c["core.cache.misses"],
+			c["tensor.digest_ops"])
+	}
+	return tw.Flush()
 }

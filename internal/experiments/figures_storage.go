@@ -20,7 +20,7 @@ func runFlow(o Opts, cfg evalflow.Config) (*evalflow.Result, error) {
 		return nil, err
 	}
 	defer cleanup()
-	return evalflow.Run(evalflow.LocalProvider(stores), cfg)
+	return evalflow.RunCtx(o.ctx(), evalflow.LocalProvider(stores), cfg)
 }
 
 // runFlowMedian executes a flow o.Runs times and aggregates like the paper.

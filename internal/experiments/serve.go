@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -101,7 +102,7 @@ func Serve(w io.Writer, o Opts) error {
 		svc := core.NewParamUpdate(stores)
 		cache := pol.cache()
 		svc.SetRecoveryCache(cache)
-		load, err := runServeLoad(svc, ids, input, clients, requests, inferEvery)
+		load, err := runServeLoad(o.ctx(), svc, ids, input, clients, requests, inferEvery)
 		if err != nil {
 			return fmt.Errorf("serve %s: %w", pol.name, err)
 		}
@@ -169,7 +170,7 @@ func saveServeChain(stores core.Stores, arch string) ([]string, error) {
 // so the shared owner's identity is a version tag), and runs an inference
 // every inferEvery-th request to prove the served net is usable while
 // other clients share the same cached state.
-func runServeLoad(svc core.StateRecoverer, ids []string, input *tensor.Tensor, clients, requests, inferEvery int) (*serveLoad, error) {
+func runServeLoad(ctx context.Context, svc core.StateRecoverer, ids []string, input *tensor.Tensor, clients, requests, inferEvery int) (*serveLoad, error) {
 	opts := core.RecoverOptions{VerifyChecksums: true}
 	perClient := make([][]time.Duration, clients)
 	errs := make([]error, clients)
@@ -192,7 +193,7 @@ func runServeLoad(svc core.StateRecoverer, ids []string, input *tensor.Tensor, c
 			var local int64
 			for j := 0; j < requests; j++ {
 				t := time.Now()
-				rs, err := svc.RecoverState(id, opts)
+				rs, err := core.RecoverStateWith(ctx, svc, id, opts)
 				if err != nil {
 					errs[c] = err
 					return
@@ -238,7 +239,7 @@ func runServeLoad(svc core.StateRecoverer, ids []string, input *tensor.Tensor, c
 	// bit-identical states.
 	load.hashes = map[string]string{}
 	for _, id := range ids {
-		rs, err := svc.RecoverState(id, opts)
+		rs, err := core.RecoverStateWith(ctx, svc, id, opts)
 		if err != nil {
 			return nil, err
 		}

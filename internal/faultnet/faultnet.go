@@ -15,6 +15,17 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Registry mirrors of the per-Config Stats: process-wide fault totals,
+// visible in any obs snapshot regardless of whether a test wired Stats.
+var (
+	mDelays        = obs.Default().Counter("faultnet.delays")
+	mDrops         = obs.Default().Counter("faultnet.drops")
+	mPartialWrites = obs.Default().Counter("faultnet.partial_writes")
+	mReadCloses    = obs.Default().Counter("faultnet.read_closes")
 )
 
 // ErrInjected is the error returned by a connection operation that a
@@ -126,11 +137,13 @@ func (c *Conn) Write(b []byte) (int, error) {
 		if c.r.chance(0.5) && len(b) > 1 {
 			// Torn frame: a prefix lands on the wire, then the link dies.
 			n, _ := c.Conn.Write(b[:len(b)/2])
+			mPartialWrites.Inc()
 			if c.cfg.Stats != nil {
 				c.cfg.Stats.PartialWrites.Add(1)
 			}
 			return n, c.breakConn()
 		}
+		mDrops.Inc()
 		if c.cfg.Stats != nil {
 			c.cfg.Stats.Drops.Add(1)
 		}
@@ -148,6 +161,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 		return 0, ErrInjected
 	}
 	if c.cfg.Rate > 0 && c.r.chance(c.cfg.Rate) {
+		mReadCloses.Inc()
 		if c.cfg.Stats != nil {
 			c.cfg.Stats.ReadCloses.Add(1)
 		}
@@ -165,6 +179,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 // maybeDelay injects latency at half the fault rate. Callers hold c.mu.
 func (c *Conn) maybeDelay() {
 	if c.cfg.Rate > 0 && c.r.chance(c.cfg.Rate/2) {
+		mDelays.Inc()
 		if c.cfg.Stats != nil {
 			c.cfg.Stats.Delays.Add(1)
 		}

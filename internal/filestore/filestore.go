@@ -16,10 +16,23 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ErrNotFound is returned when a blob does not exist.
 var ErrNotFound = errors.New("filestore: not found")
+
+// Registry counters over the store's I/O paths, distinguishing buffered
+// reads from mmap opens so a snapshot shows which path served recovery.
+var (
+	mWrites     = obs.Default().Counter("filestore.writes")
+	mWriteBytes = obs.Default().Counter("filestore.write_bytes")
+	mReads      = obs.Default().Counter("filestore.reads")
+	mReadBytes  = obs.Default().Counter("filestore.read_bytes")
+	mMmapOpens  = obs.Default().Counter("filestore.mmap_opens")
+	mMmapBytes  = obs.Default().Counter("filestore.mmap_bytes")
+)
 
 // copyBufPool recycles the 64 KB transfer buffers used when streaming blobs
 // to and from disk, so the save/recover hot path does not allocate one per
@@ -133,6 +146,8 @@ func (s *Store) SaveAs(id string, r io.Reader) (int64, string, error) {
 		os.Remove(tmp)
 		return 0, "", fmt.Errorf("filestore: committing blob: %w", err)
 	}
+	mWrites.Inc()
+	mWriteBytes.Add(n)
 	return n, hex.EncodeToString(h.Sum(nil)), nil
 }
 
@@ -180,6 +195,8 @@ func (s *Store) ReadAll(id string) ([]byte, error) {
 		n, err := rc.Read(b[len(b):cap(b)])
 		b = b[:len(b)+n]
 		if err == io.EOF {
+			mReads.Inc()
+			mReadBytes.Add(int64(len(b)))
 			return b, nil
 		}
 		if err != nil {

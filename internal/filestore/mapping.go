@@ -80,6 +80,8 @@ func (s *Store) OpenMapped(id string) (*Mapping, error) {
 			return nil, err
 		}
 		if m, err := mmapFile(path); err == nil {
+			mMmapOpens.Inc()
+			mMmapBytes.Add(int64(len(m.data)))
 			return m, nil
 		} else if err == ErrNotFound {
 			return nil, err

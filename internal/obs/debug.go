@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// DebugHandler serves the live-introspection surface over reg:
+//
+//	/healthz            liveness probe ("ok")
+//	/metrics            registry snapshot — JSON by default, Prometheus
+//	                    text with ?format=prom or an Accept: text/plain
+//	                    header
+//	/debug/pprof/*      the standard runtime profiles
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "prom" ||
+			strings.Contains(r.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := snap.WriteProm(w); err != nil {
+				Warnf("obs: writing prometheus metrics: %v", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := snap.WriteJSON(w); err != nil {
+			Warnf("obs: writing metrics snapshot: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener (see ServeDebug).
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug surface on addr (e.g. "localhost:6060") and
+// returns once the listener is bound, so callers can immediately curl
+// Addr().
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           DebugHandler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ds := &DebugServer{ln: ln, srv: srv}
+	go func() {
+		// http.Server.Serve always returns a non-nil error on Close;
+		// nothing to report.
+		_ = srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the debug listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv.ops").Add(12)
+	reg.Gauge("srv.conns").Set(3)
+	reg.Histogram("srv.lat_us").Observe(250)
+
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	get := func(path string, hdr map[string]string) (int, string, string) {
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, _ := get("/healthz", nil); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, ct := get("/metrics", nil)
+	if code != http.StatusOK || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/metrics = %d content-type %q", code, ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics JSON invalid: %v", err)
+	}
+	if snap.Counters["srv.ops"] != 12 || snap.Gauges["srv.conns"] != 3 {
+		t.Fatalf("/metrics snapshot wrong: %+v", snap)
+	}
+
+	// Counters must move between scrapes — the live-introspection point.
+	reg.Counter("srv.ops").Add(8)
+	_, body2, _ := get("/metrics", nil)
+	var snap2 Snapshot
+	if err := json.Unmarshal([]byte(body2), &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Counters["srv.ops"] != 20 {
+		t.Fatalf("second scrape srv.ops = %d, want 20", snap2.Counters["srv.ops"])
+	}
+
+	code, body, ct = get("/metrics?format=prom", nil)
+	if code != http.StatusOK || !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics?format=prom = %d content-type %q", code, ct)
+	}
+	if !strings.Contains(body, "# TYPE srv_ops counter") || !strings.Contains(body, "srv_ops 20") {
+		t.Fatalf("prometheus exposition missing counter: %q", body)
+	}
+	if !strings.Contains(body, `srv_lat_us{quantile="0.99"}`) {
+		t.Fatalf("prometheus exposition missing summary quantiles: %q", body)
+	}
+
+	if code, body, _ := get("/metrics", map[string]string{"Accept": "text/plain"}); code != http.StatusOK || !strings.Contains(body, "# TYPE") {
+		t.Fatalf("Accept: text/plain should select prometheus format, got %q", body)
+	}
+
+	if code, body, _ := get("/debug/pprof/", nil); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d %q", code, body[:min(len(body), 120)])
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	defer SetLogOutput(io.Discard)
+	defer SetLevel(LevelInfo)
+
+	SetLevel(LevelInfo)
+	Debugf("hidden %d", 1)
+	Infof("shown %d", 2)
+	Warnf("warned")
+	Errorf("errored")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug message leaked at info level")
+	}
+	for _, want := range []string{"INFO shown 2", "WARN warned", "ERROR errored"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+
+	buf.Reset()
+	SetLevel(LevelError)
+	Infof("quiet")
+	Warnf("quiet too")
+	Errorf("loud")
+	out = buf.String()
+	if strings.Contains(out, "quiet") || !strings.Contains(out, "loud") {
+		t.Fatalf("quiet level filtering wrong: %q", out)
+	}
+
+	buf.Reset()
+	SetLevel(LevelDebug)
+	Debugf("verbose")
+	if !strings.Contains(buf.String(), "DEBUG verbose") {
+		t.Fatalf("debug level should pass Debugf: %q", buf.String())
+	}
+}
+
+func TestLogFlags(t *testing.T) {
+	defer SetLevel(LevelInfo)
+	cases := []struct {
+		args []string
+		want Level
+	}{
+		{nil, LevelInfo},
+		{[]string{"-v"}, LevelDebug},
+		{[]string{"-quiet"}, LevelError},
+		{[]string{"-v", "-quiet"}, LevelError}, // quiet wins
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		apply := LogFlags(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatal(err)
+		}
+		apply()
+		if got := Level(logger.level.Load()); got != tc.want {
+			t.Fatalf("args %v: level = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Messages below the configured level are
+// dropped.
+type Level int32
+
+// Log levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int32(l))
+	}
+}
+
+// logger is the process-wide leveled logger the binaries share. Output
+// defaults to stderr at LevelInfo.
+var logger = struct {
+	mu    sync.Mutex
+	out   io.Writer
+	level atomic.Int32
+}{out: os.Stderr}
+
+func init() { logger.level.Store(int32(LevelInfo)) }
+
+// SetLevel sets the minimum severity that gets written.
+func SetLevel(l Level) { logger.level.Store(int32(l)) }
+
+// SetLogOutput redirects log output (tests; defaults to stderr).
+func SetLogOutput(w io.Writer) {
+	logger.mu.Lock()
+	logger.out = w
+	logger.mu.Unlock()
+}
+
+func logf(l Level, format string, args ...any) {
+	if int32(l) < logger.level.Load() {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	ts := time.Now().Format("2006/01/02 15:04:05")
+	logger.mu.Lock()
+	fmt.Fprintf(logger.out, "%s %s %s\n", ts, l, msg)
+	logger.mu.Unlock()
+}
+
+// Debugf logs at debug level (enabled by -v).
+func Debugf(format string, args ...any) { logf(LevelDebug, format, args...) }
+
+// Infof logs at info level (the default).
+func Infof(format string, args ...any) { logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func Warnf(format string, args ...any) { logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level (survives -quiet).
+func Errorf(format string, args ...any) { logf(LevelError, format, args...) }
+
+// Fatalf logs at error level and exits with status 1.
+func Fatalf(format string, args ...any) {
+	logf(LevelError, format, args...)
+	os.Exit(1)
+}
+
+// LogFlags registers the shared -v / -quiet convention on fs and returns
+// an apply function to call after flag parsing. -v enables debug output;
+// -quiet keeps only errors; -quiet wins when both are set.
+func LogFlags(fs *flag.FlagSet) (apply func()) {
+	verbose := fs.Bool("v", false, "verbose (debug-level) logging")
+	quiet := fs.Bool("quiet", false, "log errors only")
+	return func() {
+		switch {
+		case *quiet:
+			SetLevel(LevelError)
+		case *verbose:
+			SetLevel(LevelDebug)
+		default:
+			SetLevel(LevelInfo)
+		}
+	}
+}

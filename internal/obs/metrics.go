@@ -1,0 +1,431 @@
+// Package obs is the repository's observability substrate: a
+// concurrency-safe metrics registry (counters, gauges, bounded histograms
+// with percentile snapshots), a lightweight span tracer propagated through
+// context.Context that emits Chrome trace-event JSON, a small leveled
+// logger for the binaries, and an HTTP debug surface (/metrics, /healthz,
+// /debug/pprof). It is pure standard library and imports nothing from the
+// rest of the module, so every layer — tensor hashing, the docdb wire, the
+// file store, the recovery pipelines, the serving tier — can report into
+// one registry without dependency cycles.
+//
+// The paper's whole evaluation is built on measuring save and recovery
+// cost; obs is the substrate that makes those measurements available from
+// a *running* system, not only from benchmark harnesses.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; an increment is a single atomic add, cheap enough for
+// per-tensor hot paths.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the counter to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (live connections, cache
+// occupancy). All methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram bucket layout: values 0..histSub-1 get exact unit buckets;
+// above that, each power of two is split into histSub log-linear
+// sub-buckets, so the relative quantization error is bounded by
+// 1/histSub (~3.1%) at any magnitude. 64-bit values need at most
+// (64-histSubBits+1)*histSub buckets — under 2000 atomic counters
+// (~15 KB) per histogram, a fixed bound no matter what is observed.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	histBuckets = (64 - histSubBits + 1) * histSub
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 - histSubBits
+	idx := int(u>>uint(exp)) - histSub
+	return (exp+1)*histSub + idx
+}
+
+// bucketMid returns a representative value for bucket b: the midpoint of
+// the bucket's range, which bounds the percentile estimation error to half
+// the bucket width.
+func bucketMid(b int) int64 {
+	if b < histSub {
+		return int64(b)
+	}
+	exp := uint(b/histSub - 1)
+	idx := int64(b % histSub)
+	lo := (int64(histSub) + idx) << exp
+	width := int64(1) << exp
+	return lo + width/2
+}
+
+// Histogram records a distribution of int64 observations (the repo's
+// convention: durations in microseconds, sizes in bytes) in a fixed set of
+// log-linear buckets. Observations and snapshots are safe for concurrent
+// use and never allocate.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // math.MaxInt64 while empty
+	max     atomic.Int64 // math.MinInt64 while empty
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value (negative values are clamped to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveDuration records d in microseconds, the repo's convention for
+// latency histograms (suffix "_us").
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Microseconds())
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram. Percentiles
+// are estimated from the bucket midpoints, accurate to ~1/32 relative
+// error.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Concurrent observations may land
+// between the bucket reads; the snapshot is a consistent-enough view for
+// reporting, not a linearizable cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min, s.Max = h.min.Load(), h.max.Load()
+	// One ordered pass over the buckets serves all three percentile ranks.
+	targets := [3]int64{
+		rank(s.Count, 0.50),
+		rank(s.Count, 0.95),
+		rank(s.Count, 0.99),
+	}
+	out := [3]int64{}
+	var seen int64
+	ti := 0
+	for b := 0; b < histBuckets && ti < len(targets); b++ {
+		n := h.buckets[b].Load()
+		if n == 0 {
+			continue
+		}
+		seen += n
+		for ti < len(targets) && seen >= targets[ti] {
+			out[ti] = clampRange(bucketMid(b), s.Min, s.Max)
+			ti++
+		}
+	}
+	for ; ti < len(targets); ti++ {
+		out[ti] = s.Max
+	}
+	s.P50, s.P95, s.P99 = out[0], out[1], out[2]
+	return s
+}
+
+// rank converts a quantile to a 1-based rank over count observations.
+func rank(count int64, q float64) int64 {
+	r := int64(math.Ceil(q * float64(count)))
+	if r < 1 {
+		r = 1
+	}
+	if r > count {
+		r = count
+	}
+	return r
+}
+
+func clampRange(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Registry holds named metrics. Metric handles are get-or-create: the
+// first request for a name allocates it, later requests return the same
+// handle, so hot paths resolve their handles once (package variable or
+// struct field) and then touch only atomics.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry every instrumented layer
+// reports into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	h = newHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. It is a
+// plain value: JSON-marshalable, comparable field by field, and detached
+// from the live registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric. Metrics registered while the
+// snapshot is being taken may or may not appear; values keep moving
+// underneath (the registry is live), which is exactly what the race tests
+// hammer.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, name := range counters {
+		s.Counters[name] = r.counters[name].Value()
+	}
+	for _, name := range gauges {
+		s.Gauges[name] = r.gauges[name].Value()
+	}
+	for _, name := range hists {
+		s.Histograms[name] = r.hists[name].Snapshot()
+	}
+	r.mu.RUnlock()
+	return s
+}
+
+// Delta returns this snapshot relative to an earlier one: counters and
+// histogram count/sum are subtracted (a name missing from prev counts from
+// zero), gauges and histogram min/max/percentiles keep their current
+// values (they describe state, not flow, and percentiles of a difference
+// are not derivable from two summaries).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		d.Counters[name] = s.Counters[name] - prev.Counters[name]
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		d.Gauges[name] = s.Gauges[name]
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		h.Count -= p.Count
+		h.Sum -= p.Sum
+		d.Histograms[name] = h
+	}
+	return d
+}
+
+// sortedKeys returns m's keys in sorted order (the repo-wide determinism
+// discipline for anything that might be persisted or compared).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the snapshot as indented JSON. encoding/json emits map
+// keys in sorted order, so the output is deterministic for a given
+// snapshot.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format,
+// metrics sorted by name. Histograms are exported as summaries (quantile
+// labels plus _sum and _count).
+func (s Snapshot) WriteProm(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, pn, h.P50, pn, h.P95, pn, h.P99, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps the registry's dotted names onto the Prometheus metric
+// name charset.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.ops") != c {
+		t.Fatal("Counter is not get-or-create: second lookup returned a different handle")
+	}
+	g := r.Gauge("a.conns")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if r.Gauge("a.conns") != g {
+		t.Fatal("Gauge is not get-or-create")
+	}
+	if r.Histogram("a.lat") != r.Histogram("a.lat") {
+		t.Fatal("Histogram is not get-or-create")
+	}
+}
+
+func TestBucketOfMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1 << 40, math.MaxInt64} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous bucket %d: not monotone", v, b, prev)
+		}
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", v, b, histBuckets)
+		}
+		prev = b
+	}
+	// A bucket's representative value must land back in the same bucket.
+	for b := 0; b < histBuckets; b++ {
+		mid := bucketMid(b)
+		if mid < 0 {
+			// Top buckets overflow int64 midpoints; they are unreachable
+			// by Observe anyway (MaxInt64 maps below them).
+			continue
+		}
+		if got := bucketOf(mid); got != b {
+			t.Fatalf("bucketOf(bucketMid(%d)=%d) = %d, want %d", b, mid, got, b)
+		}
+	}
+}
+
+// TestHistogramPercentilesAgainstOracle checks histogram percentile
+// estimates against exact percentiles from the sorted sample, for several
+// distributions. Log-linear bucketing with 32 sub-buckets per octave
+// bounds relative error by 1/32 plus half a bucket, so 5% is a safe gate.
+func TestHistogramPercentilesAgainstOracle(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform":   func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exp":       func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"lognormal": func(r *rand.Rand) int64 { return int64(math.Exp(r.NormFloat64()*2 + 8)) },
+		"constant":  func(*rand.Rand) int64 { return 4242 },
+		"small":     func(r *rand.Rand) int64 { return r.Int63n(20) },
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			h := newHistogram()
+			sample := make([]int64, 10_000)
+			for i := range sample {
+				v := gen(rng)
+				sample[i] = v
+				h.Observe(v)
+			}
+			sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+			s := h.Snapshot()
+			if s.Count != int64(len(sample)) {
+				t.Fatalf("Count = %d, want %d", s.Count, len(sample))
+			}
+			var sum int64
+			for _, v := range sample {
+				sum += v
+			}
+			if s.Sum != sum {
+				t.Fatalf("Sum = %d, want %d", s.Sum, sum)
+			}
+			if s.Min != sample[0] || s.Max != sample[len(sample)-1] {
+				t.Fatalf("Min/Max = %d/%d, want %d/%d", s.Min, s.Max, sample[0], sample[len(sample)-1])
+			}
+			check := func(q float64, got int64) {
+				exact := sample[rank(int64(len(sample)), q)-1]
+				// Allow bucket quantization: ~3.1% relative plus a couple
+				// of units of absolute slack for tiny values.
+				tol := float64(exact)*0.05 + 2
+				if math.Abs(float64(got-exact)) > tol {
+					t.Errorf("p%.0f = %d, oracle %d (tolerance %.1f)", q*100, got, exact, tol)
+				}
+			}
+			check(0.50, s.P50)
+			check(0.95, s.P95)
+			check(0.99, s.P99)
+		})
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := newHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+	h.Observe(-5) // clamped to 0
+	s = h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 || s.P50 != 0 {
+		t.Fatalf("after Observe(-5): %+v, want count=1 all-zero stats", s)
+	}
+	h.ObserveDuration(3 * time.Millisecond)
+	if s = h.Snapshot(); s.Max != 3000 {
+		t.Fatalf("ObserveDuration(3ms): Max = %d µs, want 3000", s.Max)
+	}
+}
+
+// TestSnapshotDeterminism verifies that serializing the same snapshot
+// repeatedly produces byte-identical output (sorted keys) for both JSON
+// and Prometheus text.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 50; i++ {
+		r.Counter(fmt.Sprintf("c.%02d", 49-i)).Add(int64(i))
+		r.Gauge(fmt.Sprintf("g.%02d", 49-i)).Set(int64(i))
+		r.Histogram(fmt.Sprintf("h.%02d", 49-i)).Observe(int64(i))
+	}
+	snap := r.Snapshot()
+	var first bytes.Buffer
+	if err := snap.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	var firstProm bytes.Buffer
+	if err := snap.WriteProm(&firstProm); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var js, prom bytes.Buffer
+		if err := snap.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.WriteProm(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js.Bytes(), first.Bytes()) {
+			t.Fatal("WriteJSON output differs between calls on the same snapshot")
+		}
+		if !bytes.Equal(prom.Bytes(), firstProm.Bytes()) {
+			t.Fatal("WriteProm output differs between calls on the same snapshot")
+		}
+	}
+	// Prometheus metric names must be sorted and sanitized.
+	lines := strings.Split(firstProm.String(), "\n")
+	var names []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# TYPE ") {
+			names = append(names, strings.Fields(l)[2])
+		}
+	}
+	if !sort.StringsAreSorted(names[:50]) { // counters block
+		t.Fatal("prometheus counter names not sorted")
+	}
+	for _, n := range names {
+		if strings.ContainsAny(n, ".-") {
+			t.Fatalf("prometheus name %q not sanitized", n)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(3)
+	r.Gauge("conns").Set(2)
+	r.Histogram("lat_us").Observe(150)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["ops"] != 3 || back.Gauges["conns"] != 2 || back.Histograms["lat_us"].Count != 1 {
+		t.Fatalf("round-tripped snapshot lost data: %+v", back)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(10)
+	r.Gauge("conns").Set(4)
+	r.Histogram("lat").Observe(100)
+	before := r.Snapshot()
+	r.Counter("ops").Add(5)
+	r.Counter("fresh").Inc()
+	r.Gauge("conns").Set(9)
+	r.Histogram("lat").Observe(200)
+	d := r.Snapshot().Delta(before)
+	if d.Counters["ops"] != 5 {
+		t.Fatalf("delta ops = %d, want 5", d.Counters["ops"])
+	}
+	if d.Counters["fresh"] != 1 {
+		t.Fatalf("delta fresh = %d, want 1 (missing-from-prev counts from zero)", d.Counters["fresh"])
+	}
+	if d.Gauges["conns"] != 9 {
+		t.Fatalf("delta gauge = %d, want current value 9", d.Gauges["conns"])
+	}
+	h := d.Histograms["lat"]
+	if h.Count != 1 || h.Sum != 200 {
+		t.Fatalf("delta histogram count/sum = %d/%d, want 1/200", h.Count, h.Sum)
+	}
+}
+
+// TestRaceSnapshotWhileUpdating is the -race hammer the satellite asks
+// for: many writers mutate every metric kind (and register new ones)
+// while readers snapshot and serialize concurrently.
+func TestRaceSnapshotWhileUpdating(t *testing.T) {
+	r := NewRegistry()
+	const writers, snapshots = 8, 40
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("hammer.ops")
+			g := r.Gauge("hammer.conns")
+			h := r.Histogram("hammer.lat")
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(n % 100_000))
+				if n%64 == 0 {
+					// Concurrent registration exercises the map writes.
+					r.Counter(fmt.Sprintf("hammer.dyn.%d.%d", id, n%8)).Inc()
+				}
+			}
+		}(i)
+	}
+	for r.Counter("hammer.ops").Value() == 0 {
+		// Wait for the writers to actually start before snapshotting.
+	}
+	for i := 0; i < snapshots; i++ {
+		s := r.Snapshot()
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	final := r.Snapshot()
+	if final.Counters["hammer.ops"] == 0 {
+		t.Fatal("hammer counter never moved")
+	}
+	h := final.Histograms["hammer.lat"]
+	if h.Count == 0 || h.Sum < 0 {
+		t.Fatalf("hammer histogram inconsistent after race: %+v", h)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench.ops")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench.lat")
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v + 7919) % (1 << 30)
+		}
+	})
+}

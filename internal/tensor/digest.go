@@ -9,6 +9,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Content hashing is on the save/recover hot path: every checksummed save
@@ -30,15 +32,15 @@ var stagingPool = sync.Pool{
 	},
 }
 
-// digestOps counts per-tensor digest computations process-wide. It exists so
-// tests can assert the single-pass save invariant: one save computes each
-// tensor's digest exactly once, no matter how many consumers (state hash,
-// layer hashes, Merkle leaves) need it.
-var digestOps atomic.Uint64
+// digestOps counts per-tensor digest computations process-wide, on the
+// shared obs registry. It exists so tests can assert the single-pass save
+// invariant: one save computes each tensor's digest exactly once, no matter
+// how many consumers (state hash, layer hashes, Merkle leaves) need it.
+var digestOps = obs.Default().Counter("tensor.digest_ops")
 
 // DigestOps returns the number of per-tensor digest computations performed
 // so far by this process. Instrumentation for tests and benchmarks.
-func DigestOps() uint64 { return digestOps.Load() }
+func DigestOps() uint64 { return uint64(digestOps.Value()) }
 
 // digestShapeInto feeds the digest preamble — rank then dims, little
 // endian — into h. The preamble is part of the hashed content so tensors
