@@ -12,6 +12,7 @@
 //	mmctl -store /var/mmlib stats
 //	mmctl -store /var/mmlib [-force] delete <model-id>
 //	mmctl -store /var/mmlib gc
+//	mmctl -store /var/mmlib [-dry-run] fsck
 //	mmctl -store /var/mmlib -out params.mmsd recover <model-id>
 //
 // With -db addr the metadata comes from a running mmserver instead of the
@@ -39,13 +40,14 @@ func main() {
 		dbAddr   = flag.String("db", "", "metadata server address (overrides -store/meta)")
 		out      = flag.String("out", "", "output file for 'recover'")
 		force    = flag.Bool("force", false, "force deletion even when other models depend on the target")
+		dryRun   = flag.Bool("dry-run", false, "for 'fsck': report what would be reclaimed without deleting")
 	)
 	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
 	applyLog()
 	args := flag.Args()
 	if *storeDir == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mmctl -store DIR [flags] {list|lineage|children|stats|delete|gc|recover} [id]")
+		fmt.Fprintln(os.Stderr, "usage: mmctl -store DIR [flags] {list|lineage|children|stats|delete|gc|fsck|recover} [id]")
 		os.Exit(2)
 	}
 
@@ -117,6 +119,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("reclaimed %d blob(s), %d B\n", blobs, bytes)
+
+	case "fsck":
+		// Crash recovery: roll back saves whose write-ahead staging record
+		// never committed (see core.RecoverOrphans). Must not run while
+		// saves are in flight against the same store.
+		sweep := core.RecoverOrphans
+		if *dryRun {
+			sweep = core.ScanOrphans
+		}
+		rep, err := sweep(stores)
+		if err != nil {
+			fatal(err)
+		}
+		if *dryRun {
+			fmt.Printf("fsck (dry run): %s\n", rep)
+		} else {
+			fmt.Printf("fsck: %s\n", rep)
+		}
 
 	case "recover":
 		id := need(args, "recover")

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	mmserver -addr :7070 -data /var/mmlib/meta
+//	mmserver -addr :7070 -data /var/mmlib/meta -files /var/mmlib/files
 //
 // With -data the store persists JSON documents on disk; without it the
-// server keeps everything in memory. With -debug-addr it additionally
+// server keeps everything in memory. With -files (alongside -data) the
+// server additionally runs crash recovery over the shared file store at
+// startup, before accepting connections: saves interrupted mid-flight are
+// rolled back via their write-ahead staging records (core.RecoverOrphans). With -debug-addr it additionally
 // serves live introspection: /metrics (JSON, or Prometheus text with
 // ?format=prom), /healthz, and /debug/pprof/*. On SIGINT/SIGTERM it
 // drains in-flight connections for up to -drain-timeout and logs a final
@@ -23,8 +26,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/docdb"
 	"repro/internal/faultnet"
+	"repro/internal/filestore"
 	"repro/internal/obs"
 )
 
@@ -32,6 +37,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
 		data      = flag.String("data", "", "persistence directory (empty = in-memory)")
+		filesDir  = flag.String("files", "", "shared file-store directory; with -data, crashed saves are rolled back at startup (core.RecoverOrphans)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/* on this address (empty = disabled)")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight connections before force-closing them")
 		frate     = flag.Float64("fault-rate", 0, "chaos testing: inject connection faults (drops, torn frames, delays) into every accepted connection at this per-operation probability")
@@ -50,6 +56,25 @@ func main() {
 			obs.Fatalf("mmserver: %v", err)
 		}
 		backend = disk
+	}
+	if *filesDir != "" && *data != "" {
+		// Crash recovery runs before the listener opens — no save can be in
+		// flight yet, which RecoverOrphans requires. Saves that never
+		// committed their root document are rolled back; completed saves
+		// only lose their stale staging records.
+		files, err := filestore.Open(*filesDir)
+		if err != nil {
+			obs.Fatalf("mmserver: %v", err)
+		}
+		rep, err := core.RecoverOrphans(core.Stores{Meta: backend, Files: files})
+		if err != nil {
+			obs.Fatalf("mmserver: startup orphan recovery: %v", err)
+		}
+		if rep.Scanned > 0 {
+			obs.Warnf("mmserver: startup orphan recovery: %s", rep)
+		} else {
+			obs.Infof("mmserver: startup orphan recovery: store clean")
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

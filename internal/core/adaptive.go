@@ -79,30 +79,10 @@ func (a *Adaptive) SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, erro
 		if datasetBytes < trainableBytes {
 			// MPA wins on storage, but the next derived save may still use
 			// the PUA: it needs this model's layer hashes, which MPA does
-			// not store. Record them additionally.
-			start := time.Now()
-			res, err := a.mpa.SaveCtx(ctx, info)
-			if err != nil {
-				return res, err
-			}
-			_, spHashes := obs.StartSpan(ctx, "save.layerhashes")
-			defer spHashes.End()
-			hashID, hashSize, err := saveLayerHashes(a.stores.Meta, nn.StateDictOf(info.Net).LayerHashes())
-			if err != nil {
-				return res, err
-			}
-			raw, err := a.stores.Meta.Get(ColModels, res.ID)
-			if err != nil {
-				return res, err
-			}
-			raw["hash_doc_id"] = hashID
-			if err := a.stores.Meta.Put(ColModels, res.ID, raw); err != nil {
-				return res, err
-			}
-			res.MetaBytes += hashSize
-			res.StorageBytes += hashSize
-			res.Duration = time.Since(start)
-			return res, nil
+			// not store. Carry them into MPA's transaction so they commit
+			// (or roll back) atomically with the rest of the save.
+			info.extraLayerHashes = nn.StateDictOf(info.Net).LayerHashes()
+			return a.mpa.SaveCtx(ctx, info)
 		}
 	}
 	return a.pua.SaveCtx(ctx, info)

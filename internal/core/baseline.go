@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -68,15 +69,32 @@ var _ ContextStateRecoverer = (*Baseline)(nil)
 // saveSnapshot writes a full model snapshot. It is shared by the baseline
 // approach and by the first (underived) save of the other approaches.
 // withLayerHashes additionally persists the per-layer hash document the
-// parameter update approach needs for cheap diffing.
-func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach string, withLayerHashes bool) (SaveResult, error) {
-	res := SaveResult{Approach: approach}
+// parameter update approach needs for cheap diffing. The whole save runs
+// as one transaction (see txn.go): every identifier is staged in a
+// write-ahead commit record before any artifact is written, the root
+// document insert is the commit point, and any error on the way out rolls
+// the staged artifacts back.
+func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach string, withLayerHashes bool) (res SaveResult, retErr error) {
+	res = SaveResult{Approach: approach}
 
 	sd := nn.StateDictOf(info.Net)
 	doc := modelDoc{
 		Approach:          approach,
 		BaseID:            info.BaseID,
 		TrainablePrefixes: nn.TrainablePrefixes(info.Net),
+	}
+
+	txn := beginSave(stores, ColModels)
+	defer func() { txn.end(retErr) }()
+	codeID := txn.stageBlob()
+	paramsID := txn.stageBlob()
+	envID := txn.stageDoc(ColEnvironments)
+	var hashID string
+	if withLayerHashes {
+		hashID = txn.stageDoc(ColLayerHashes)
+	}
+	if err := txn.writeAhead(); err != nil {
+		return SaveResult{}, err
 	}
 
 	// Model code: the serialized architecture spec.
@@ -86,7 +104,7 @@ func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach st
 		spCode.End()
 		return SaveResult{}, err
 	}
-	codeID, codeSize, codeHash, err := stores.Files.SaveBytes(codeBytes)
+	codeSize, codeHash, err := txn.saveBlob(codeID, "code", bytes.NewReader(codeBytes))
 	spCode.End()
 	if err != nil {
 		return SaveResult{}, fmt.Errorf("core: saving model code: %w", err)
@@ -103,7 +121,7 @@ func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach st
 	// re-hashing tensors.
 	needDigests := info.WithChecksums || withLayerHashes
 	_, spParams := obs.StartSpan(ctx, "save.params")
-	paramsID, paramsSize, paramsHash, err := saveStateDict(stores.Files, sd, needDigests)
+	paramsSize, paramsHash, err := saveStateDict(txn, paramsID, sd, needDigests)
 	spParams.End()
 	if err != nil {
 		return SaveResult{}, err
@@ -124,7 +142,7 @@ func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach st
 		spEnv.End()
 		return SaveResult{}, err
 	}
-	envID, err := stores.Meta.Insert(ColEnvironments, envDoc)
+	err = txn.putDoc(ColEnvironments, envID, "env", envDoc)
 	spEnv.End()
 	if err != nil {
 		return SaveResult{}, fmt.Errorf("core: saving environment: %w", err)
@@ -135,7 +153,7 @@ func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach st
 	// Per-layer hashes for PUA saves.
 	if withLayerHashes {
 		_, spHashes := obs.StartSpan(ctx, "save.layerhashes")
-		hashID, hashSize, err := saveLayerHashes(stores.Meta, sd.LayerHashes())
+		hashSize, err := saveLayerHashes(txn, hashID, sd.LayerHashes())
 		spHashes.End()
 		if err != nil {
 			return SaveResult{}, err
@@ -144,17 +162,17 @@ func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach st
 		res.MetaBytes += hashSize
 	}
 
-	// Root model document.
+	// Root model document: the commit point.
 	_, spDoc := obs.StartSpan(ctx, "save.doc")
 	rootDoc, rootSize, err := docToMap(doc)
 	if err != nil {
 		spDoc.End()
 		return SaveResult{}, err
 	}
-	id, err := stores.Meta.Insert(ColModels, rootDoc)
+	id, err := txn.commit(ctx, rootDoc)
 	spDoc.End()
 	if err != nil {
-		return SaveResult{}, fmt.Errorf("core: saving model document: %w", err)
+		return SaveResult{}, err
 	}
 	res.MetaBytes += rootSize
 	res.ID = id
@@ -162,16 +180,15 @@ func saveSnapshot(ctx context.Context, stores Stores, info SaveInfo, approach st
 	return res, nil
 }
 
-// saveStateDict streams a state dict into the file store and returns the
-// blob identifier, stored size, and the content hash the store computed
+// saveStateDict streams a state dict into the transaction's staged blob id
+// and returns the stored size and the content hash the store computed
 // while writing. With withDigests the serializer additionally populates
 // sd's per-tensor digest cache from the same pass (a no-op when the cache
 // already exists), so subsequent Hash/LayerHashes calls on sd are free of
-// parameter-byte passes. The pipe writer goroutine finishes before SaveAs
-// returns (SaveAs drains the pipe to EOF), so the cache is safely visible
-// to the caller.
-func saveStateDict(files *filestore.Store, sd *nn.StateDict, withDigests bool) (string, int64, string, error) {
-	id := filestore.NewID()
+// parameter-byte passes. The pipe writer goroutine finishes before the
+// store returns (it drains the pipe to EOF), so the cache is safely
+// visible to the caller.
+func saveStateDict(txn *saveTxn, id string, sd *nn.StateDict, withDigests bool) (int64, string, error) {
 	pr, pw := io.Pipe()
 	go func() {
 		var err error
@@ -182,11 +199,11 @@ func saveStateDict(files *filestore.Store, sd *nn.StateDict, withDigests bool) (
 		}
 		pw.CloseWithError(err)
 	}()
-	size, hash, err := files.SaveAs(id, pr)
+	size, hash, err := txn.saveBlob(id, "params", pr)
 	if err != nil {
-		return "", 0, "", fmt.Errorf("core: saving parameters: %w", err)
+		return 0, "", fmt.Errorf("core: saving parameters: %w", err)
 	}
-	return id, size, hash, nil
+	return size, hash, nil
 }
 
 // loadStateDictBytes fetches a parameter file fully into memory. Loading
@@ -417,19 +434,19 @@ func restoreTrainable(net nn.Module, prefixes []string) {
 	nn.FreezeAllExcept(net, prefixes...)
 }
 
-// saveLayerHashes persists the per-layer hash list as one document.
-func saveLayerHashes(meta docdb.Store, hashes []nn.KeyHash) (string, int64, error) {
+// saveLayerHashes persists the per-layer hash list as one document under
+// the transaction's staged id.
+func saveLayerHashes(txn *saveTxn, id string, hashes []nn.KeyHash) (int64, error) {
 	doc, size, err := docToMap(struct {
 		Layers []nn.KeyHash `json:"layers"`
 	}{Layers: hashes})
 	if err != nil {
-		return "", 0, err
+		return 0, err
 	}
-	id, err := meta.Insert(ColLayerHashes, doc)
-	if err != nil {
-		return "", 0, fmt.Errorf("core: saving layer hashes: %w", err)
+	if err := txn.putDoc(ColLayerHashes, id, "layerhashes", doc); err != nil {
+		return 0, fmt.Errorf("core: saving layer hashes: %w", err)
 	}
-	return id, size, nil
+	return size, nil
 }
 
 // loadLayerHashes fetches a per-layer hash document.

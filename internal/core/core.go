@@ -57,6 +57,13 @@ var ErrModelNotFound = errors.New("core: model not found")
 type Stores struct {
 	Meta  docdb.Store
 	Files *filestore.Store
+	// Crash, when non-nil, is called at every crash point of a
+	// transactional save (deterministic fault injection for the
+	// crash-recovery test suite). Returning an error — conventionally
+	// wrapping ErrInjectedCrash — abandons the in-flight save exactly as a
+	// process death at that point would: no rollback runs, the staged
+	// artifacts stay on disk, and cleanup is RecoverOrphans' job.
+	Crash CrashFn
 }
 
 // SaveInfo describes a model to save.
@@ -76,6 +83,11 @@ type SaveInfo struct {
 	// Provenance must be set for derived saves with the provenance
 	// approach; other approaches ignore it.
 	Provenance *ProvenanceRecord
+	// extraLayerHashes, when set by the adaptive approach, persists a
+	// per-layer hash document alongside a derived provenance save — inside
+	// the same transaction — so a later PUA save can diff against this
+	// model even though MPA itself stores no parameters.
+	extraLayerHashes []nn.KeyHash
 }
 
 // SaveResult reports a completed save.

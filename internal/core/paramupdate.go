@@ -69,7 +69,7 @@ func (p *ParamUpdate) SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, e
 	return res, nil
 }
 
-func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
+func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (res SaveResult, retErr error) {
 	start := time.Now()
 	if info.BaseID == "" {
 		res, err := saveSnapshot(ctx, p.stores, info, ParamUpdateApproach, true)
@@ -80,10 +80,11 @@ func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, e
 		return res, nil
 	}
 
-	res := SaveResult{Approach: ParamUpdateApproach}
+	res = SaveResult{Approach: ParamUpdateApproach}
 
 	// Load the base model's layer hashes (never its parameters) and find
-	// the changed layers against them.
+	// the changed layers against them. Everything up to here only reads,
+	// so the transaction begins after the diff.
 	_, spDiff := obs.StartSpan(ctx, "diff")
 	baseDoc, err := getModelDoc(p.stores.Meta, info.BaseID)
 	if err != nil {
@@ -128,6 +129,17 @@ func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, e
 		doc.StateHash = sd.Hash()
 	}
 
+	// Stage every pending identifier and write the commit record first;
+	// any error past this point rolls the staged artifacts back.
+	txn := beginSave(p.stores, ColModels)
+	defer func() { txn.end(retErr) }()
+	paramsID := txn.stageBlob()
+	envID := txn.stageDoc(ColEnvironments)
+	hashID := txn.stageDoc(ColLayerHashes)
+	if err := txn.writeAhead(); err != nil {
+		return SaveResult{}, err
+	}
+
 	// Environment document (architecture is inherited from the base model,
 	// but the environment may differ and is always recorded).
 	_, spEnv := obs.StartSpan(ctx, "save.env")
@@ -137,7 +149,7 @@ func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, e
 		spEnv.End()
 		return SaveResult{}, err
 	}
-	envID, err := p.stores.Meta.Insert(ColEnvironments, envDoc)
+	err = txn.putDoc(ColEnvironments, envID, "env", envDoc)
 	spEnv.End()
 	if err != nil {
 		return SaveResult{}, err
@@ -148,7 +160,7 @@ func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, e
 	// Serialized parameter update (digests inherited above, so the fused
 	// writer degrades to a plain serialize).
 	_, spParams := obs.StartSpan(ctx, "save.params")
-	paramsID, paramsSize, paramsHash, err := saveStateDict(p.stores.Files, update, true)
+	paramsSize, paramsHash, err := saveStateDict(txn, paramsID, update, true)
 	spParams.End()
 	if err != nil {
 		return SaveResult{}, err
@@ -160,7 +172,7 @@ func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, e
 	// Layer hashes for this model, so the next derived save can diff
 	// against us.
 	_, spHashes := obs.StartSpan(ctx, "save.layerhashes")
-	hashID, hashSize, err := saveLayerHashes(p.stores.Meta, curHashes)
+	hashSize, err := saveLayerHashes(txn, hashID, curHashes)
 	spHashes.End()
 	if err != nil {
 		return SaveResult{}, err
@@ -174,7 +186,7 @@ func (p *ParamUpdate) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, e
 		spDoc.End()
 		return SaveResult{}, err
 	}
-	id, err := p.stores.Meta.Insert(ColModels, rootDoc)
+	id, err := txn.commit(ctx, rootDoc)
 	spDoc.End()
 	if err != nil {
 		return SaveResult{}, err

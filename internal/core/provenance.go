@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/environment"
-	"repro/internal/filestore"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -152,7 +151,7 @@ func (p *Provenance) SaveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 	return res, nil
 }
 
-func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, error) {
+func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (res SaveResult, retErr error) {
 	start := time.Now()
 	if info.BaseID == "" {
 		res, err := saveSnapshot(ctx, p.stores, info, ProvenanceApproach, false)
@@ -169,8 +168,14 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 	if !rec.trained {
 		return SaveResult{}, fmt.Errorf("core: provenance record was not trained; call Train before Save")
 	}
+	if p.DatasetByReference && rec.externalRef == "" {
+		return SaveResult{}, fmt.Errorf("core: dataset-by-reference mode needs an external dataset reference")
+	}
+	if !p.DatasetByReference && rec.ds == nil {
+		return SaveResult{}, fmt.Errorf("core: provenance record has no dataset")
+	}
 
-	res := SaveResult{Approach: ProvenanceApproach}
+	res = SaveResult{Approach: ProvenanceApproach}
 	doc := modelDoc{
 		Approach:          ProvenanceApproach,
 		BaseID:            info.BaseID,
@@ -178,6 +183,26 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 	}
 	if info.WithChecksums {
 		doc.StateHash = rec.resultHash
+	}
+
+	// Stage every pending identifier and write the commit record first;
+	// any error past this point rolls the staged artifacts back.
+	txn := beginSave(p.stores, ColModels)
+	defer func() { txn.end(retErr) }()
+	envID := txn.stageDoc(ColEnvironments)
+	svcID := txn.stageDoc(ColServices)
+	var dsID, optStateID, hashID string
+	if !p.DatasetByReference {
+		dsID = txn.stageBlob()
+	}
+	if len(rec.optState) > 0 {
+		optStateID = txn.stageBlob()
+	}
+	if len(info.extraLayerHashes) > 0 {
+		hashID = txn.stageDoc(ColLayerHashes)
+	}
+	if err := txn.writeAhead(); err != nil {
+		return SaveResult{}, err
 	}
 
 	// Training environment document.
@@ -188,7 +213,7 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 		spEnv.End()
 		return SaveResult{}, err
 	}
-	envID, err := p.stores.Meta.Insert(ColEnvironments, envDoc)
+	err = txn.putDoc(ColEnvironments, envID, "env", envDoc)
 	spEnv.End()
 	if err != nil {
 		return SaveResult{}, err
@@ -199,13 +224,10 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 	// Dataset: archived into the file store, or referenced externally.
 	svcDoc := rec.doc
 	if p.DatasetByReference {
-		if rec.externalRef == "" {
-			return SaveResult{}, fmt.Errorf("core: dataset-by-reference mode needs an external dataset reference")
-		}
 		svcDoc.DatasetRef = "external:" + rec.externalRef
 	} else {
 		_, spDS := obs.StartSpan(ctx, "save.dataset")
-		dsID, dsSize, err := saveDatasetArchive(p.stores, rec.ds)
+		dsSize, err := saveDatasetArchive(txn, dsID, rec.ds)
 		spDS.End()
 		if err != nil {
 			return SaveResult{}, err
@@ -219,16 +241,29 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 	// writing, so it costs no extra read.
 	if len(rec.optState) > 0 {
 		_, spOpt := obs.StartSpan(ctx, "save.optstate")
-		stateID, stateSize, stateHash, err := p.stores.Files.SaveBytes(rec.optState)
+		stateSize, stateHash, err := txn.saveBlob(optStateID, "optstate", bytes.NewReader(rec.optState))
 		spOpt.End()
 		if err != nil {
 			return SaveResult{}, fmt.Errorf("core: saving optimizer state: %w", err)
 		}
 		w := svcDoc.Wrappers["optimizer"]
-		w.StateFileRef = stateID
+		w.StateFileRef = optStateID
 		w.StateFileHash = stateHash
 		svcDoc.Wrappers["optimizer"] = w
 		res.FileBytes += stateSize
+	}
+
+	// Per-layer hash document on the adaptive approach's behalf, inside the
+	// same transaction, so a later PUA save can diff against this model.
+	if len(info.extraLayerHashes) > 0 {
+		_, spHashes := obs.StartSpan(ctx, "save.layerhashes")
+		hashSize, err := saveLayerHashes(txn, hashID, info.extraLayerHashes)
+		spHashes.End()
+		if err != nil {
+			return SaveResult{}, err
+		}
+		doc.HashDocID = hashID
+		res.MetaBytes += hashSize
 	}
 
 	// Train service document and root document.
@@ -238,8 +273,7 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 		spDoc.End()
 		return SaveResult{}, err
 	}
-	svcID, err := p.stores.Meta.Insert(ColServices, svcRaw)
-	if err != nil {
+	if err := txn.putDoc(ColServices, svcID, "service", svcRaw); err != nil {
 		spDoc.End()
 		return SaveResult{}, err
 	}
@@ -251,7 +285,7 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 		spDoc.End()
 		return SaveResult{}, err
 	}
-	id, err := p.stores.Meta.Insert(ColModels, rootDoc)
+	id, err := txn.commit(ctx, rootDoc)
 	spDoc.End()
 	if err != nil {
 		return SaveResult{}, err
@@ -263,21 +297,19 @@ func (p *Provenance) saveCtx(ctx context.Context, info SaveInfo) (SaveResult, er
 	return res, nil
 }
 
-func saveDatasetArchive(stores Stores, ds *dataset.Dataset) (string, int64, error) {
-	if ds == nil {
-		return "", 0, fmt.Errorf("core: provenance record has no dataset")
-	}
-	id := filestore.NewID()
+// saveDatasetArchive streams the dataset's compressed archive into the
+// staged blob id.
+func saveDatasetArchive(txn *saveTxn, id string, ds *dataset.Dataset) (int64, error) {
 	pr, pw := io.Pipe()
 	go func() {
 		_, err := ds.WriteArchive(pw)
 		pw.CloseWithError(err)
 	}()
-	size, _, err := stores.Files.SaveAs(id, pr)
+	size, _, err := txn.saveBlob(id, "dataset", pr)
 	if err != nil {
-		return "", 0, fmt.Errorf("core: archiving dataset: %w", err)
+		return 0, fmt.Errorf("core: archiving dataset: %w", err)
 	}
-	return id, size, nil
+	return size, nil
 }
 
 // Recover implements SaveService by instantiating RecoverState's result.

@@ -1,0 +1,9 @@
+// Package crashtest proves the transactional save layer end to end through
+// the public core API: deterministic crash-point injection (Stores.Crash)
+// kills a save at every point between the first staged write and the commit,
+// and the suite asserts the all-or-nothing invariant — after RecoverOrphans
+// the store is either byte-identical to never-saved or holds a fully
+// recoverable, checksum-verified model. It lives outside package core so the
+// race-detector gates can run it as an independent package and so it can
+// only use what real callers can.
+package crashtest

@@ -1,0 +1,324 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docdb"
+	"repro/internal/filestore"
+	"repro/internal/nn"
+)
+
+// failingMeta wraps a document store and fails every Put into one
+// collection, simulating a live (no-crash) store error mid-save.
+type failingMeta struct {
+	docdb.Store
+	failCol string
+}
+
+var errInjectedPut = errors.New("crashtest: injected put failure")
+
+func (f *failingMeta) Put(col, id string, doc docdb.Document) error {
+	if col == f.failCol {
+		return fmt.Errorf("%w (collection %s)", errInjectedPut, col)
+	}
+	return f.Store.Put(col, id, doc)
+}
+
+// TestErrorPathLeaksNothing is the live-leak regression test: a save that
+// fails on an ordinary error (no crash, no GC pass) must roll itself back
+// and leave zero blobs and zero documents behind.
+func TestErrorPathLeaksNothing(t *testing.T) {
+	cases := []struct {
+		name    string
+		failCol string // root commit for BA, side documents for PUA/MPA
+		run     func(t *testing.T, stores core.Stores) error
+	}{
+		{"baseline/commit", core.ColModels, func(t *testing.T, stores core.Stores) error {
+			_, err := core.NewBaseline(stores).Save(core.SaveInfo{Spec: tinySpec(), Net: tinyNet(t, 1), WithChecksums: true})
+			return err
+		}},
+		{"paramupdate/layerhashes", core.ColLayerHashes, func(t *testing.T, stores core.Stores) error {
+			net := tinyNet(t, 1)
+			base := stores
+			base.Meta = stores.Meta.(*failingMeta).Store // base save must succeed
+			baseRes, err := core.NewParamUpdate(base).Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+			if err != nil {
+				t.Fatalf("saving base model: %v", err)
+			}
+			perturb(net)
+			_, err = core.NewParamUpdate(stores).Save(core.SaveInfo{Spec: tinySpec(), Net: net, BaseID: baseRes.ID, WithChecksums: true})
+			return err
+		}},
+		{"provenance/service", core.ColServices, func(t *testing.T, stores core.Stores) error {
+			net := tinyNet(t, 1)
+			base := stores
+			base.Meta = stores.Meta.(*failingMeta).Store // base save must succeed
+			mpa := core.NewProvenance(base)
+			baseRes, err := mpa.Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+			if err != nil {
+				t.Fatalf("saving base model: %v", err)
+			}
+			rec := trainDerived(t, net, tinyDataset(t))
+			_, err = core.NewProvenance(stores).Save(core.SaveInfo{Spec: tinySpec(), Net: net, BaseID: baseRes.ID, WithChecksums: true, Provenance: rec})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files, err := filestore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores := core.Stores{
+				Meta:  &failingMeta{Store: docdb.NewMemStore(), failCol: tc.failCol},
+				Files: files,
+			}
+			err = tc.run(t, stores)
+			if !errors.Is(err, errInjectedPut) {
+				t.Fatalf("save returned %v, want the injected put failure", err)
+			}
+			// The failed save must have rolled itself back: no staging
+			// record, and nothing it staged left behind. Every document and
+			// blob present must belong to the (successful) base save, whose
+			// root document references account for all of them.
+			if ids, err := stores.Meta.IDs(core.ColStaging); err != nil || len(ids) != 0 {
+				t.Fatalf("failed save left staging records: %v (err %v)", ids, err)
+			}
+			assertFullyReferenced(t, stores)
+		})
+	}
+}
+
+// assertFullyReferenced asserts every blob and side document in the stores
+// is reachable from some committed root model document — i.e. nothing is
+// orphaned.
+func assertFullyReferenced(t *testing.T, stores core.Stores) {
+	t.Helper()
+	meta := stores.Meta
+	if f, ok := meta.(*failingMeta); ok {
+		meta = f.Store
+	}
+	refDocs := make(map[string]bool)  // "col/id"
+	refBlobs := make(map[string]bool) // blob id
+	modelIDs, err := meta.IDs(core.ColModels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range modelIDs {
+		doc, err := meta.Get(core.ColModels, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := func(key string) string { s, _ := doc[key].(string); return s }
+		for _, b := range []string{ref("code_file_ref"), ref("params_file_ref")} {
+			if b != "" {
+				refBlobs[b] = true
+			}
+		}
+		if d := ref("env_doc_id"); d != "" {
+			refDocs[core.ColEnvironments+"/"+d] = true
+		}
+		if d := ref("hash_doc_id"); d != "" {
+			refDocs[core.ColLayerHashes+"/"+d] = true
+		}
+		if d := ref("service_doc_id"); d != "" {
+			refDocs[core.ColServices+"/"+d] = true
+			svc, err := meta.Get(core.ColServices, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds, _ := svc["dataset_ref"].(string); ds != "" {
+				refBlobs[ds] = true
+			}
+			if ws, _ := svc["wrappers"].(map[string]any); ws != nil {
+				for _, w := range ws {
+					if wm, _ := w.(map[string]any); wm != nil {
+						if ref, _ := wm["state_file_ref"].(string); ref != "" {
+							refBlobs[ref] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, col := range []string{core.ColEnvironments, core.ColLayerHashes, core.ColServices} {
+		ids, err := meta.IDs(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if !refDocs[col+"/"+id] {
+				t.Errorf("orphaned document %s/%s", col, id)
+			}
+		}
+	}
+	blobs, err := stores.Files.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blobs {
+		if !refBlobs[b] {
+			t.Errorf("orphaned blob %s", b)
+		}
+	}
+}
+
+// TestGCKeepsLateCrashSave crashes a save in the commit window — after the
+// root document landed, before the staging record was deleted. GC must keep
+// every artifact, drop only the record, and leave the model recoverable.
+func TestGCKeepsLateCrashSave(t *testing.T) {
+	stores := newStores(t)
+	stores.Crash = crashOn("commit.window")
+	ba := core.NewBaseline(stores)
+	net := tinyNet(t, 3)
+	_, err := ba.Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+	if !errors.Is(err, core.ErrInjectedCrash) {
+		t.Fatalf("save returned %v, want ErrInjectedCrash", err)
+	}
+	fpCrash := fingerprint(t, stores)
+	rep, err := core.RecoverOrphans(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 1 || rep.Completed != 1 || rep.RolledBack != 0 || rep.BlobsReclaimed != 0 || rep.DocsReclaimed != 0 {
+		t.Fatalf("late-crash GC touched artifacts: %s", rep)
+	}
+	// Post-GC store == post-crash store minus exactly the staging record.
+	want := make(map[string]string)
+	dropped := 0
+	for k, v := range fpCrash {
+		if len(k) > 4 && k[:4] == "doc/" && k[4:4+len(core.ColStaging)] == core.ColStaging {
+			dropped++
+			continue
+		}
+		want[k] = v
+	}
+	if dropped != 1 {
+		t.Fatalf("expected one staging record after the late crash, found %d", dropped)
+	}
+	sameFingerprint(t, want, fingerprint(t, stores))
+
+	ids, err := stores.Meta.IDs(core.ColModels)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("want one committed model, got %v (err %v)", ids, err)
+	}
+	rec, err := ba.Recover(ids[0], core.RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nn.StateDictOf(rec.Net).Equal(nn.StateDictOf(net)) {
+		t.Fatal("late-crash save did not recover bit-identically")
+	}
+}
+
+// TestGCIdempotentOnMissingArtifacts crashes a save, deletes some of the
+// blobs its staging record names (as an interrupted earlier GC pass would
+// have), and re-runs GC: the pass must converge without error, and a third
+// run must find nothing.
+func TestGCIdempotentOnMissingArtifacts(t *testing.T) {
+	stores := newStores(t)
+	stores.Crash = crashOn("blob:params")
+	ba := core.NewBaseline(stores)
+	_, err := ba.Save(core.SaveInfo{Spec: tinySpec(), Net: tinyNet(t, 4), WithChecksums: true})
+	if !errors.Is(err, core.ErrInjectedCrash) {
+		t.Fatalf("save returned %v, want ErrInjectedCrash", err)
+	}
+	// Simulate an interrupted earlier pass: every blob the staging record
+	// names is already gone (including ones the save never wrote).
+	ids, err := stores.Meta.IDs(core.ColStaging)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("want one staging record, got %v (err %v)", ids, err)
+	}
+	rec, err := stores.Meta.Get(core.ColStaging, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, _ := rec["blobs"].([]any)
+	if len(blobs) == 0 {
+		t.Fatal("staging record names no blobs")
+	}
+	for _, b := range blobs {
+		if err := stores.Files.Delete(b.(string)); err != nil && !errors.Is(err, filestore.ErrNotFound) {
+			t.Fatal(err)
+		}
+	}
+	rep, err := core.RecoverOrphans(stores)
+	if err != nil {
+		t.Fatalf("GC over already-deleted blobs: %v", err)
+	}
+	if rep.RolledBack != 1 || rep.BlobsReclaimed != 0 {
+		t.Fatalf("GC re-counted already-deleted blobs: %s", rep)
+	}
+	rep, err = core.RecoverOrphans(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 0 {
+		t.Fatalf("GC is not idempotent: second pass scanned %d records", rep.Scanned)
+	}
+}
+
+// TestGCLeavesConcurrentSurvivorUntouched runs two saves concurrently
+// against shared stores; one crashes mid-save. GC must roll back only the
+// crashed save — the survivor stays recoverable and every remaining
+// artifact is referenced.
+func TestGCLeavesConcurrentSurvivorUntouched(t *testing.T) {
+	stores := newStores(t)
+	netA, netB := tinyNet(t, 11), tinyNet(t, 12)
+	pua := core.NewParamUpdate(stores)
+	baseA, err := pua.Save(core.SaveInfo{Spec: tinySpec(), Net: netA, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseB, err := pua.Save(core.SaveInfo{Spec: tinySpec(), Net: netB, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb(netA)
+	perturb(netB)
+
+	crashed := stores
+	crashed.Crash = crashOn("blob:params")
+	var wg sync.WaitGroup
+	var resA core.SaveResult
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		resA, errA = core.NewParamUpdate(stores).Save(core.SaveInfo{Spec: tinySpec(), Net: netA, BaseID: baseA.ID, WithChecksums: true})
+	}()
+	go func() {
+		defer wg.Done()
+		_, errB = core.NewParamUpdate(crashed).Save(core.SaveInfo{Spec: tinySpec(), Net: netB, BaseID: baseB.ID, WithChecksums: true})
+	}()
+	wg.Wait()
+	if errA != nil {
+		t.Fatalf("survivor save failed: %v", errA)
+	}
+	if !errors.Is(errB, core.ErrInjectedCrash) {
+		t.Fatalf("crashed save returned %v, want ErrInjectedCrash", errB)
+	}
+
+	rep, err := core.RecoverOrphans(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 1 || rep.RolledBack != 1 {
+		t.Fatalf("GC should roll back exactly the crashed save: %s", rep)
+	}
+	rec, err := pua.Recover(resA.ID, core.RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatalf("survivor not recoverable after GC: %v", err)
+	}
+	if !nn.StateDictOf(rec.Net).Equal(nn.StateDictOf(netA)) {
+		t.Fatal("survivor's recovered state differs after GC")
+	}
+	if ids, err := stores.Meta.IDs(core.ColModels); err != nil || len(ids) != 3 {
+		t.Fatalf("want 3 model documents (two bases + survivor), got %v (err %v)", ids, err)
+	}
+	assertFullyReferenced(t, stores)
+}

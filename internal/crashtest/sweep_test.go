@@ -1,0 +1,180 @@
+package crashtest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+// sweep kills one save at every crash point in turn, each time on a fresh
+// store seeded by prepare, and asserts the all-or-nothing invariant after
+// GC. It stops at the first k whose hook never fires — the save ran out of
+// crash points and completed — and returns how many points it swept.
+func sweep(t *testing.T, prepare func(t *testing.T, stores core.Stores) (save func() (nn.Module, error), recoverFn func(id string) nn.Module)) int {
+	t.Helper()
+	for k := 1; ; k++ {
+		stores := newStores(t)
+		hook, fired := armCrash(k)
+		stores.Crash = hook
+		save, recoverFn := prepare(t, stores)
+		before := fingerprint(t, stores)
+		net, err := save()
+		if !*fired {
+			if err != nil {
+				t.Fatalf("crash-free save failed: %v", err)
+			}
+			if k == 1 {
+				t.Fatal("save hit no crash points; the transaction layer is not wired in")
+			}
+			return k - 1
+		}
+		if !errors.Is(err, core.ErrInjectedCrash) {
+			t.Fatalf("crash point %d: save returned %v, want ErrInjectedCrash", k, err)
+		}
+		checkAfterCrash(t, stores, before, net, recoverFn)
+	}
+}
+
+// TestCrashSweepBaseline kills a checksummed BA snapshot save at every
+// crash point: staging record, code blob, params blob, env document, and
+// both sides of the commit.
+func TestCrashSweepBaseline(t *testing.T) {
+	n := sweep(t, func(t *testing.T, stores core.Stores) (func() (nn.Module, error), func(id string) nn.Module) {
+		ba := core.NewBaseline(stores)
+		net := tinyNet(t, 1)
+		save := func() (nn.Module, error) {
+			_, err := ba.Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+			return net, err
+		}
+		return save, func(id string) nn.Module {
+			rec, err := ba.Recover(id, core.RecoverOptions{VerifyChecksums: true})
+			if err != nil {
+				t.Fatalf("recovering committed save: %v", err)
+			}
+			return rec.Net
+		}
+	})
+	t.Logf("baseline snapshot save: %d crash points swept", n)
+}
+
+// TestCrashSweepParamUpdate kills a checksummed derived PUA save at every
+// crash point. The base model is saved before the hook's points are
+// counted; only the derived save is swept.
+func TestCrashSweepParamUpdate(t *testing.T) {
+	n := sweep(t, func(t *testing.T, stores core.Stores) (func() (nn.Module, error), func(id string) nn.Module) {
+		base := stores
+		base.Crash = nil
+		pua := core.NewParamUpdate(base)
+		net := tinyNet(t, 1)
+		baseRes, err := pua.Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+		if err != nil {
+			t.Fatalf("saving base model: %v", err)
+		}
+		perturb(net)
+		armed := core.NewParamUpdate(stores)
+		save := func() (nn.Module, error) {
+			_, err := armed.Save(core.SaveInfo{Spec: tinySpec(), Net: net, BaseID: baseRes.ID, WithChecksums: true})
+			return net, err
+		}
+		return save, func(id string) nn.Module {
+			rec, err := pua.Recover(id, core.RecoverOptions{VerifyChecksums: true})
+			if err != nil {
+				t.Fatalf("recovering committed save: %v", err)
+			}
+			return rec.Net
+		}
+	})
+	t.Logf("derived param-update save: %d crash points swept", n)
+}
+
+// TestCrashSweepProvenance kills a checksummed derived MPA save at every
+// crash point: staging record, env document, dataset archive blob,
+// optimizer-state blob, service document, and both sides of the commit.
+func TestCrashSweepProvenance(t *testing.T) {
+	n := sweep(t, func(t *testing.T, stores core.Stores) (func() (nn.Module, error), func(id string) nn.Module) {
+		base := stores
+		base.Crash = nil
+		mpa := core.NewProvenance(base)
+		net := tinyNet(t, 1)
+		baseRes, err := mpa.Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+		if err != nil {
+			t.Fatalf("saving base model: %v", err)
+		}
+		rec := trainDerived(t, net, tinyDataset(t))
+		armed := core.NewProvenance(stores)
+		save := func() (nn.Module, error) {
+			_, err := armed.Save(core.SaveInfo{Spec: tinySpec(), Net: net, BaseID: baseRes.ID, WithChecksums: true, Provenance: rec})
+			return net, err
+		}
+		return save, func(id string) nn.Module {
+			m, err := mpa.Recover(id, core.RecoverOptions{VerifyChecksums: true})
+			if err != nil {
+				t.Fatalf("recovering committed save: %v", err)
+			}
+			return m.Net
+		}
+	})
+	t.Logf("derived provenance save: %d crash points swept", n)
+}
+
+// TestCrashSweepAdaptive kills a derived adaptive save at every crash
+// point. Whichever approach the heuristic picks, the layer hashes the
+// adaptive approach records for future PUA diffs now live inside the same
+// transaction, so the invariant must hold with no post-commit patching.
+func TestCrashSweepAdaptive(t *testing.T) {
+	n := sweep(t, func(t *testing.T, stores core.Stores) (func() (nn.Module, error), func(id string) nn.Module) {
+		base := stores
+		base.Crash = nil
+		ad := core.NewAdaptive(base)
+		net := tinyNet(t, 1)
+		baseRes, err := ad.Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+		if err != nil {
+			t.Fatalf("saving base model: %v", err)
+		}
+		rec := trainDerived(t, net, tinyDataset(t))
+		armed := core.NewAdaptive(stores)
+		save := func() (nn.Module, error) {
+			_, err := armed.Save(core.SaveInfo{Spec: tinySpec(), Net: net, BaseID: baseRes.ID, WithChecksums: true, Provenance: rec})
+			return net, err
+		}
+		return save, func(id string) nn.Module {
+			m, err := ad.Recover(id, core.RecoverOptions{VerifyChecksums: true})
+			if err != nil {
+				t.Fatalf("recovering committed save: %v", err)
+			}
+			return m.Net
+		}
+	})
+	t.Logf("derived adaptive save: %d crash points swept", n)
+}
+
+// TestCompletedSaveNeverRolledBack runs a crash-free save and then the GC
+// pass: nothing may be scanned, reclaimed, or changed — the commit already
+// deleted its own staging record.
+func TestCompletedSaveNeverRolledBack(t *testing.T) {
+	stores := newStores(t)
+	ba := core.NewBaseline(stores)
+	net := tinyNet(t, 5)
+	res, err := ba.Save(core.SaveInfo{Spec: tinySpec(), Net: net, WithChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fingerprint(t, stores)
+	rep, err := core.RecoverOrphans(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 0 {
+		t.Fatalf("clean store had staging records: %s", rep)
+	}
+	sameFingerprint(t, before, fingerprint(t, stores))
+	rec, err := ba.Recover(res.ID, core.RecoverOptions{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nn.StateDictOf(rec.Net).Equal(nn.StateDictOf(net)) {
+		t.Fatal("recovered model differs after GC pass")
+	}
+}

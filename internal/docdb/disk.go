@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/fsx"
 )
 
 // DiskStore is a directory-backed document store. Every document is one JSON
@@ -91,6 +93,12 @@ func (s *DiskStore) Put(collection, id string, doc Document) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("docdb: committing document: %w", err)
+	}
+	// The rename is an entry in the collection directory; without flushing
+	// it a power loss can forget the committed document even though its
+	// content was fsynced above.
+	if err := fsx.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("docdb: syncing collection directory: %w", err)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/fsx"
 	"repro/internal/obs"
 )
 
@@ -145,6 +146,12 @@ func (s *Store) SaveAs(id string, r io.Reader) (int64, string, error) {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return 0, "", fmt.Errorf("filestore: committing blob: %w", err)
+	}
+	// The rename is an entry in the store's root directory; without
+	// flushing it a power loss can forget the committed blob even though
+	// its content was fsynced above.
+	if err := fsx.SyncDir(s.root); err != nil {
+		return 0, "", fmt.Errorf("filestore: syncing store directory: %w", err)
 	}
 	mWrites.Inc()
 	mWriteBytes.Add(n)

@@ -1,0 +1,38 @@
+// Package fsx holds small filesystem durability helpers shared by the
+// on-disk stores.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// SyncDir fsyncs a directory. The temp-file + fsync + rename pattern makes
+// a file's *content* durable, but the rename itself lives in the parent
+// directory's entries — until those are flushed, a power loss can forget a
+// "committed" file entirely. Call SyncDir on the parent after os.Rename to
+// close that window.
+//
+// Some filesystems (and some OSes) reject fsync on directories; there the
+// rename is as durable as the platform allows and SyncDir reports success,
+// so callers need no per-platform branches.
+func SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: opening directory for sync: %w", err)
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) || errors.Is(serr, syscall.EBADF) {
+			return nil // directory fsync unsupported here: best effort done
+		}
+		return fmt.Errorf("fsx: syncing directory: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("fsx: closing directory after sync: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	// A rename into the directory, then the sync that makes it durable.
+	tmp := filepath.Join(dir, "blob.tmp")
+	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "blob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory should fail")
+	}
+}
