@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/docdb"
+	"repro/internal/evalflow"
 	"repro/internal/experiments"
 	"repro/internal/filestore"
 	"repro/internal/models"
@@ -75,6 +76,7 @@ func BenchmarkAblationDatasetRef(b *testing.B)    { benchExperiment(b, experimen
 func BenchmarkAblationAdaptive(b *testing.B)      { benchExperiment(b, experiments.AblationAdaptive) }
 func BenchmarkAblationBandwidth(b *testing.B)     { benchExperiment(b, experiments.AblationBandwidth) }
 func BenchmarkAblationWorkers(b *testing.B)       { benchExperiment(b, experiments.AblationWorkers) }
+func BenchmarkAblationShards(b *testing.B)        { benchExperiment(b, experiments.AblationShards) }
 
 // --- Substrate micro-benchmarks ---
 
@@ -420,6 +422,41 @@ func BenchmarkRecoverStateHit(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkShardedSaveRecover pushes one save plus one verified recover
+// through a real 4-shard deployment — pooled multiplexed clients to four
+// in-process docdb servers behind the consistent-hash ring — so the whole
+// scale-out stack (wire v2, pool checkout, ring fan-out) stays on the
+// bench smoke path.
+func BenchmarkShardedSaveRecover(b *testing.B) {
+	provider, cleanup, err := evalflow.ShardedProvider(b.TempDir(), 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	stores, release, err := provider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer release()
+	m, err := models.New(models.TinyCNNName, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := core.NewBaseline(stores)
+	spec := models.Spec{Arch: models.TinyCNNName, NumClasses: 4}
+	b.SetBytes(nn.StateDictOf(m).SerializedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Save(core.SaveInfo{Spec: spec, Net: m, WithChecksums: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Recover(res.ID, core.RecoverOptions{VerifyChecksums: true}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -42,6 +42,8 @@ func main() {
 		outdir   = flag.String("workdir", "", "directory for experiment scratch stores (default: system temp)")
 		frate    = flag.Float64("fault-rate", 0, "per-operation fault probability injected into distributed-flow metadata connections (0 = healthy network)")
 		fseed    = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule (same seed = same faults)")
+		shards   = flag.Int("shards", 0, "shard the distributed flows' metadata/file tier this many ways behind a consistent-hash ring (0 or 1 = single backend)")
+		psize    = flag.Int("pool-size", 0, "pipelined connections per metadata shard (0 = default)")
 		sclients = flag.Int("serve-clients", 0, "concurrent clients of the serve experiment (0 = 100)")
 		sreqs    = flag.Int("serve-requests", 0, "recoveries per serve client (0 = 6)")
 		sinfer   = flag.Int("serve-infer-every", 0, "run an inference every k-th serve request (0 = 3)")
@@ -89,6 +91,8 @@ func main() {
 	opts.WorkDir = *outdir
 	opts.FaultRate = *frate
 	opts.FaultSeed = *fseed
+	opts.Shards = *shards
+	opts.PoolSize = *psize
 	opts.RecoverCache = *rcache
 	opts.RecoverWorkers = *rworkers
 	opts.ServeClients = *sclients

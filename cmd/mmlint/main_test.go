@@ -30,6 +30,7 @@ var fixturePackages = []string{
 	"./testdata/src/boundedgo",
 	"./testdata/src/internal/nn",
 	"./testdata/src/docdb",
+	"./testdata/src/muxdemux/docdb",
 	"./testdata/src/directives",
 	"./testdata/src/clean",
 }
@@ -78,11 +79,11 @@ func TestFixtureAnalyzerCoverage(t *testing.T) {
 		nameMapRange:       2,
 		nameCloseCheck:     5, // three discarded close-like errors, two leaked spans
 		namePanicFree:      3, // one direct site, one seeded depot panic, one cross-package escape
-		nameNakedGoroutine: 2,
+		nameNakedGoroutine: 3, // two seeded launches, one untracked demux reader
 		nameHashPurity:     5, // clock, rand, %p, env, map order — clock via a cross-package call
-		nameDeadlineCheck:  2, // direct conn.Read, conn handed to an io.Reader parameter
-		nameLockHeld:       3, // sleep, deferred-unlock file I/O, transitive channel receive
-		nameBoundedGo:      2, // range-over-slice spawn, for{} spawn
+		nameDeadlineCheck:  3, // direct conn.Read, conn handed to an io.Reader parameter, undeadlined demux read loop
+		nameLockHeld:       4, // sleep, deferred-unlock file I/O, transitive channel receive, waiter send under the demux lock
+		nameBoundedGo:      3, // range-over-slice spawn, for{} spawn, per-request spawn off a request channel
 		nameDeadIgnore:     1, // well-formed directive matching nothing
 		"mmlint":           2, // malformed directives
 	}

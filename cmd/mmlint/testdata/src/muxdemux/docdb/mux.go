@@ -1,0 +1,130 @@
+// Package docdb is an mmlint fixture distilling the multiplexed-connection
+// demux pattern (single writer, single demux reader, correlation-id
+// waiters) into the shapes the analyzers guard: the reader goroutine must
+// be joined, every frame read must sit under an armed deadline, per-request
+// server goroutines must be bounded, and the pending-waiter lock must never
+// cover a blocking send. Each Bad* function seeds exactly one finding; the
+// adjacent clean version shows the accepted idiom.
+package docdb
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type mux struct {
+	conn    net.Conn
+	done    chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	pending map[uint64]chan []byte
+}
+
+// BadDialDemux launches the demux reader fire-and-forget: flagged
+// (nakedgoroutine) — Close has nothing to join on, so the loop outlives it.
+func BadDialDemux(conn net.Conn) *mux {
+	m := &mux{conn: conn, done: make(chan struct{}), pending: map[uint64]chan []byte{}}
+	go m.badReadLoop()
+	return m
+}
+
+// badReadLoop reads frames with no deadline armed: flagged (deadlinecheck)
+// — a silent peer pins the loop, and the conn it owns, forever.
+func (m *mux) badReadLoop() {
+	buf := make([]byte, 64)
+	for {
+		if _, err := m.conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// BadServeMux answers every multiplexed request in its own goroutine with
+// no bound: flagged (boundedgo) — one flooding client is an unbounded
+// goroutine count on the server.
+func BadServeMux(reqs chan uint64, handle func(uint64)) {
+	var wg sync.WaitGroup
+	for seq := range reqs {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			handle(seq)
+		}(seq)
+	}
+	wg.Wait()
+}
+
+// BadDeliver holds the pending-map lock across the waiter send: flagged
+// (lockheld) — one waiter slow to drain its channel stalls every other
+// delivery and every register behind the mutex.
+func (m *mux) BadDeliver(seq uint64, frame []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ch, ok := m.pending[seq]; ok {
+		delete(m.pending, seq)
+		ch <- frame
+	}
+}
+
+// DialDemux tracks the reader with a WaitGroup before launch: not flagged.
+func DialDemux(conn net.Conn) *mux {
+	m := &mux{conn: conn, done: make(chan struct{}), pending: map[uint64]chan []byte{}}
+	m.wg.Add(1)
+	go m.readLoop()
+	return m
+}
+
+// readLoop arms the read deadline before every frame: not flagged.
+func (m *mux) readLoop() {
+	defer m.wg.Done()
+	buf := make([]byte, 64)
+	for {
+		if err := m.conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+			return
+		}
+		if _, err := m.conn.Read(buf); err != nil {
+			return
+		}
+		m.deliver(1, buf)
+	}
+}
+
+// deliver removes the waiter under the lock and sends after releasing it:
+// not flagged. The send cannot block deliveries that follow.
+func (m *mux) deliver(seq uint64, frame []byte) {
+	m.mu.Lock()
+	ch, ok := m.pending[seq]
+	if ok {
+		delete(m.pending, seq)
+	}
+	m.mu.Unlock()
+	if ok {
+		ch <- frame
+	}
+}
+
+// ServeMux takes a semaphore slot before each spawn: not flagged. The
+// goroutine count is capped by the semaphore's capacity.
+func ServeMux(reqs chan uint64, handle func(uint64)) {
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for seq := range reqs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			handle(seq)
+		}(seq)
+	}
+	wg.Wait()
+}
+
+// Close joins the reader after closing the conn out from under it.
+func (m *mux) Close() error {
+	close(m.done)
+	err := m.conn.Close()
+	m.wg.Wait()
+	return err
+}

@@ -127,7 +127,9 @@ func (a *Adaptive) RecoverStateCtx(ctx context.Context, id string, opts RecoverO
 	ctx, sp := obs.StartSpan(ctx, "recover.adaptive")
 	sp.Arg("model", id)
 	defer sp.End()
-	rs, err := a.recoverStateCtx(ctx, id, opts)
+	rs, err := recoverCoalesced(cacheFor(a.cache, opts), id, opts, func() (*RecoveredState, error) {
+		return a.recoverStateCtx(ctx, id, opts)
+	})
 	if err != nil {
 		noteRecover(RecoverTiming{}, err)
 		return nil, err

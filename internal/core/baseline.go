@@ -209,7 +209,7 @@ func saveStateDict(txn *saveTxn, id string, sd *nn.StateDict, withDigests bool) 
 // loadStateDictBytes fetches a parameter file fully into memory. Loading
 // and deserialization are deliberately separate steps so the recover-time
 // breakdown can attribute them like Figure 12 does.
-func loadStateDictBytes(files *filestore.Store, id string) ([]byte, error) {
+func loadStateDictBytes(files filestore.Blobs, id string) ([]byte, error) {
 	b, err := files.ReadAll(id)
 	if err != nil {
 		return nil, fmt.Errorf("core: loading parameters %s: %w", id, err)
@@ -247,7 +247,10 @@ func (b *Baseline) RecoverStateCtx(ctx context.Context, id string, opts RecoverO
 	ctx, sp := obs.StartSpan(ctx, "recover.baseline")
 	sp.Arg("model", id)
 	defer sp.End()
-	rs, err := recoverSnapshotState(ctx, b.stores, cacheFor(b.cache, opts), id, opts)
+	cache := cacheFor(b.cache, opts)
+	rs, err := recoverCoalesced(cache, id, opts, func() (*RecoveredState, error) {
+		return recoverSnapshotState(ctx, b.stores, cache, id, opts)
+	})
 	if err != nil {
 		noteRecover(RecoverTiming{}, err)
 		return nil, err

@@ -55,8 +55,11 @@ var ErrModelNotFound = errors.New("core: model not found")
 // Stores bundles the metadata database and the shared file store every
 // approach persists into.
 type Stores struct {
-	Meta  docdb.Store
-	Files *filestore.Store
+	Meta docdb.Store
+	// Files is the artifact blob provider: a single *filestore.Store in
+	// the paper's one-shared-filesystem setup, or a shard.Files fanning
+	// blobs out across several behind a consistent-hash ring.
+	Files filestore.Blobs
 	// Crash, when non-nil, is called at every crash point of a
 	// transactional save (deterministic fault injection for the
 	// crash-recovery test suite). Returning an error — conventionally

@@ -42,7 +42,7 @@ func (f *fetch[T]) wait() (T, error) {
 }
 
 // fetchBlob starts an asynchronous read of a file-store blob.
-func fetchBlob(files *filestore.Store, id string) *fetch[[]byte] {
+func fetchBlob(files filestore.Blobs, id string) *fetch[[]byte] {
 	return goFetch(func() ([]byte, error) { return files.ReadAll(id) })
 }
 
@@ -50,7 +50,7 @@ func fetchBlob(files *filestore.Store, id string) *fetch[[]byte] {
 // the parameter-blob path: when mmap is available the "load" is O(1) and
 // the bytes page in lazily as decoding (or aliased tensors) touch them;
 // otherwise the blob is read fully, like fetchBlob.
-func fetchMapped(files *filestore.Store, id string) *fetch[*filestore.Mapping] {
+func fetchMapped(files filestore.Blobs, id string) *fetch[*filestore.Mapping] {
 	return goFetch(func() (*filestore.Mapping, error) { return files.OpenMapped(id) })
 }
 

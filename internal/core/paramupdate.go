@@ -282,7 +282,9 @@ func (p *ParamUpdate) RecoverStateCtx(ctx context.Context, id string, opts Recov
 	ctx, sp := obs.StartSpan(ctx, "recover.pua")
 	sp.Arg("model", id)
 	defer sp.End()
-	rs, err := p.recoverStateCtx(ctx, id, opts)
+	rs, err := recoverCoalesced(cacheFor(p.cache, opts), id, opts, func() (*RecoveredState, error) {
+		return p.recoverStateCtx(ctx, id, opts)
+	})
 	if err != nil {
 		noteRecover(RecoverTiming{}, err)
 		return nil, err

@@ -358,7 +358,9 @@ func (p *Provenance) RecoverStateCtx(ctx context.Context, id string, opts Recove
 	ctx, sp := obs.StartSpan(ctx, "recover.mpa")
 	sp.Arg("model", id)
 	defer sp.End()
-	rs, err := p.recoverStateCtx(ctx, id, opts)
+	rs, err := recoverCoalesced(cacheFor(p.cache, opts), id, opts, func() (*RecoveredState, error) {
+		return p.recoverStateCtx(ctx, id, opts)
+	})
 	if err != nil {
 		noteRecover(RecoverTiming{}, err)
 		return nil, err

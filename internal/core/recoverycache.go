@@ -59,6 +59,10 @@ type RecoveryCache struct {
 	entries  map[string]*cacheEntry
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	stats    RecoveryCacheStats
+	// flights tracks in-progress cold recoveries for request coalescing
+	// (coalesce.go); noCoalesce disables it for before/after measurement.
+	flights    map[string]*flight
+	noCoalesce bool
 }
 
 // cacheEntry is immutable after insertion.
@@ -110,6 +114,9 @@ type RecoveryCacheStats struct {
 	// CowHits counts hits whose shared state was later mutated by its
 	// caller, firing the copy-on-write detach.
 	CowHits uint64 `json:"cow_hits"`
+	// Coalesced counts recoveries that joined an in-flight recovery of the
+	// same model instead of running their own (coalesce.go).
+	Coalesced uint64 `json:"coalesced"`
 	// SharedHits (derived: Hits - CowHits) counts hits whose handed-out
 	// state stayed a zero-copy view for its whole lifetime so far.
 	SharedHits uint64 `json:"shared_hits"`

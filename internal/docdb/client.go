@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -24,6 +25,12 @@ var (
 	cliBytesIn  = obs.Default().Counter("docdb.client.bytes_in")
 	cliLatency  = obs.Default().Histogram("docdb.client.op_us")
 )
+
+// healthCooldown is how long a Client advertises itself unhealthy after a
+// connection failure. ClientPool uses it to steer checkouts away from a
+// client that just lost its conn, without ever writing the client off: once
+// the cooldown passes it is eligible again and heals by redialing on use.
+const healthCooldown = 500 * time.Millisecond
 
 // ClientOptions tune the network client's fault-tolerance behavior. The
 // zero value selects the defaults documented on each field.
@@ -65,25 +72,44 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	return o
 }
 
-// Client is a Store implementation that talks to a Server over TCP. A single
-// connection is shared and serialized; the save/recover protocol of the
-// paper issues metadata operations sequentially per node, so one connection
-// per actor is the natural shape.
+// Client is a Store implementation that talks to a Server over TCP. One
+// connection is shared by all callers; under protocol v2 it is multiplexed
+// — every goroutine's request is tagged with a correlation sequence number,
+// a writer goroutine pipelines the frames, and a demux reader pairs each
+// response with its waiter, so many operations overlap on the wire instead
+// of queueing behind one another. Against a v1 server the same Client
+// degrades to the serial one-round-trip-at-a-time exchange.
 //
 // The client assumes the link is allowed to fail. Any frame error poisons
-// the current connection — it is closed immediately and never reused, so a
-// late response to a failed request can never be paired with the next
-// request. Retryable operations then reconnect and retry with exponential
-// backoff: get/find/ids/stats/ping/put/delete are idempotent and retry
-// freely; insert carries a client-generated request identifier that the
-// server dedupes, so a retried insert returns the original document
-// identifier instead of creating a duplicate.
+// the current connection — it is closed immediately, every in-flight waiter
+// fails at once, and the conn is never reused, so a late response to a
+// failed request can never be paired with another request. Retryable
+// operations then redial and retry with exponential backoff:
+// get/find/ids/stats/ping/put/delete are idempotent and retry freely;
+// insert carries a client-generated request identifier that the server
+// dedupes, so a retried insert returns the original document identifier
+// instead of creating a duplicate.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	addr   string
-	opts   ClientOptions
-	closed bool
+	addr string
+	opts ClientOptions
+
+	mu      sync.Mutex
+	mux     *muxConn
+	dialing *dialFuture // non-nil while a redial is in flight
+	closed  bool
+
+	// failedAt is the wall time (unix nanos) of the last connection
+	// failure, zeroed by the next successful operation; Healthy derives
+	// the pool's cooldown from it.
+	failedAt atomic.Int64
+}
+
+// dialFuture lets concurrent operations share one redial instead of
+// stampeding the server with a dial per blocked caller.
+type dialFuture struct {
+	done chan struct{}
+	m    *muxConn
+	err  error
 }
 
 // Dial connects to a docdb server at addr with default options.
@@ -92,14 +118,18 @@ func Dial(addr string) (*Client, error) {
 }
 
 // DialOptions connects to a docdb server at addr with explicit
-// fault-tolerance options.
+// fault-tolerance options. The connection and the protocol handshake are
+// established eagerly so an unreachable server fails the dial, not the
+// first operation. A server that was reached but whose handshake frames
+// were lost to a link fault does NOT fail the dial: that is the flaky-link
+// case the client's retries exist for, so the client is returned and heals
+// by redialing on first use.
 func DialOptions(addr string, opts ClientOptions) (*Client, error) {
-	opts = opts.withDefaults()
-	conn, err := opts.Dialer(addr)
-	if err != nil {
-		return nil, fmt.Errorf("docdb: dialing %s: %w", addr, err)
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if _, err := c.getMux(); err != nil && !errors.Is(err, errHandshake) {
+		return nil, err
 	}
-	return &Client{conn: conn, addr: addr, opts: opts}, nil
+	return c, nil
 }
 
 var _ Store = (*Client)(nil)
@@ -115,46 +145,90 @@ func retryable(req request) bool {
 	return true
 }
 
-// poison closes the current connection after a frame error so it can never
-// serve another request. Callers must hold c.mu.
-func (c *Client) poison() {
-	if c.conn != nil {
-		//mmlint:ignore closecheck the connection is being discarded after a frame error; that frame error, not the close result, is what the caller reports
-		c.conn.Close()
-		c.conn = nil
-		cliPoisoned.Inc()
+// getMux returns the live connection, sharing one redial among all callers
+// that find it missing. The dial itself runs outside c.mu so operations on
+// a healthy Client never serialize behind a reconnect.
+func (c *Client) getMux() (*muxConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errMuxClosed
 	}
+	if m := c.mux; m != nil && m.healthy() {
+		c.mu.Unlock()
+		return m, nil
+	}
+	f := c.dialing
+	if f == nil {
+		f = &dialFuture{done: make(chan struct{})}
+		c.dialing = f
+		go c.runDial(f)
+	}
+	c.mu.Unlock()
+	<-f.done
+	return f.m, f.err
 }
 
-// attempt performs one request/response exchange on the live connection
-// under the per-op deadline. Callers must hold c.mu and have ensured
-// c.conn is non-nil.
-func (c *Client) attempt(req request) (response, error) {
-	if err := c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout)); err != nil {
-		return response{}, fmt.Errorf("docdb: arming deadline: %w", err)
+// runDial performs the shared redial and publishes its outcome. A dial
+// that loses the race with Close is discarded — outside c.mu, because
+// closing a mux waits for its loops to exit.
+func (c *Client) runDial(f *dialFuture) {
+	m, err := dialMux(c.addr, c.opts)
+	c.mu.Lock()
+	stale := c.closed && m != nil
+	if stale {
+		c.mux = nil
+	} else {
+		c.mux = m
 	}
-	n, err := writeFrame(c.conn, req)
-	cliBytesOut.Add(int64(n))
-	if err != nil {
-		return response{}, fmt.Errorf("docdb: sending request: %w", err)
+	c.dialing = nil
+	c.mu.Unlock()
+	if stale {
+		m.close()
+		m, err = nil, errMuxClosed
 	}
-	var resp response
-	n, err = readFrame(c.conn, &resp)
-	cliBytesIn.Add(int64(n))
-	if err != nil {
-		return response{}, fmt.Errorf("docdb: reading response: %w", err)
+	f.m, f.err = m, err
+	close(f.done)
+}
+
+// drop retires a connection after a failed exchange: poison kills its
+// in-flight waiters (their own roundTrips retry on a fresh conn) and the
+// client forgets it so the next attempt redials.
+func (c *Client) drop(m *muxConn, reason error) {
+	m.poison(reason)
+	c.failedAt.Store(time.Now().UnixNano())
+	c.mu.Lock()
+	if c.mux == m {
+		c.mux = nil
 	}
-	return resp, nil
+	c.mu.Unlock()
+}
+
+// Healthy reports whether the client looks able to serve an operation
+// without first recovering from a recent connection failure. It is a hint
+// for pool checkout, not a guarantee — an unhealthy client still works, it
+// just redials first.
+func (c *Client) Healthy() bool {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return false
+	}
+	at := c.failedAt.Load()
+	return at == 0 || time.Since(time.Unix(0, at)) > healthCooldown
 }
 
 func (c *Client) roundTrip(req request) (response, error) {
-	//mmlint:ignore lockheld the client is one deliberately serialized connection: retries and reconnects must own it exclusively, and the per-attempt SetDeadline bounds how long the lock is held
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return response{}, errors.New("docdb: client closed")
+		c.mu.Unlock()
+		return response{}, errMuxClosed
 	}
+	c.mu.Unlock()
 	cliOps.Inc()
+	cliInflight.Add(1)
+	defer cliInflight.Add(-1)
 	t0 := time.Now()
 	defer func() { cliLatency.ObserveDuration(time.Since(t0)) }()
 	var lastErr error
@@ -167,23 +241,24 @@ func (c *Client) roundTrip(req request) (response, error) {
 			}
 			time.Sleep(backoff)
 		}
-		if c.conn == nil {
-			conn, err := c.opts.Dialer(c.addr)
-			if err != nil {
-				lastErr = fmt.Errorf("docdb: reconnecting to %s: %w", c.addr, err)
-				if !retryable(req) {
-					break
-				}
-				continue
+		m, err := c.getMux()
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, errMuxClosed) || !retryable(req) {
+				break
 			}
-			c.conn = conn
+			continue
 		}
-		resp, err := c.attempt(req)
+		resp, err := m.do(req)
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				cliDeadline.Inc()
 			}
-			c.poison()
+			// A failed exchange retires the whole conn, v1-style: a link
+			// that ate one response is not trusted with the others, and a
+			// zombie conn must not stay checked in. Concurrent waiters fail
+			// fast and retry here on the fresh conn.
+			c.drop(m, err)
 			lastErr = err
 			if !retryable(req) {
 				break
@@ -199,6 +274,7 @@ func (c *Client) roundTrip(req request) (response, error) {
 			}
 			return response{}, errors.New(resp.Error)
 		}
+		c.failedAt.Store(0)
 		return resp, nil
 	}
 	cliErrors.Inc()
@@ -272,18 +348,19 @@ func (c *Client) Ping() error {
 	return err
 }
 
-// Close implements Store.
+// Close implements Store. In-flight operations fail with the close reason.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.conn == nil {
-		return nil
+	m := c.mux
+	c.mux = nil
+	c.mu.Unlock()
+	if m != nil {
+		m.close()
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	return nil
 }

@@ -81,26 +81,35 @@ func TestOldClientMispairsResponsesAfterFrameError(t *testing.T) {
 	}
 }
 
-// failReads wraps a conn so its first n reads fail (the write has already
-// delivered the request — only the response is lost, the worst case for
-// non-idempotent operations).
+// failReads wraps a conn so that, after skip successful reads, the next n
+// reads fail (the write has already delivered the request — only the
+// response is lost, the worst case for non-idempotent operations). The skip
+// lets the protocol handshake through so the fault lands on a live
+// operation's response, mid-session.
 type failReads struct {
 	net.Conn
+	skip      *atomic.Int64
 	remaining *atomic.Int64
 }
 
 func (c failReads) Read(b []byte) (int, error) {
+	if c.skip.Add(-1) >= 0 {
+		return c.Conn.Read(b)
+	}
 	if c.remaining.Add(-1) >= 0 {
 		return 0, errors.New("injected: response lost")
 	}
 	return c.Conn.Read(b)
 }
 
-// lossyDialer dials real connections whose first failFirst reads (counted
-// across all conns) fail, and counts dials.
-func lossyDialer(failFirst int64) (func(addr string) (net.Conn, error), *atomic.Int64) {
-	var fails atomic.Int64
-	fails.Store(failFirst)
+// lossyDialer dials real connections that read cleanly skipFirst times and
+// then fail the next failNext reads (counted across all conns), and counts
+// dials. The v2 hello response costs two reads (header + body), so
+// skipFirst = 2 places the first fault on the first operation's response.
+func lossyDialer(skipFirst, failNext int64) (func(addr string) (net.Conn, error), *atomic.Int64) {
+	var skip, fails atomic.Int64
+	skip.Store(skipFirst)
+	fails.Store(failNext)
 	var dials atomic.Int64
 	return func(addr string) (net.Conn, error) {
 		c, err := net.Dial("tcp", addr)
@@ -108,7 +117,7 @@ func lossyDialer(failFirst int64) (func(addr string) (net.Conn, error), *atomic.
 			return nil, err
 		}
 		dials.Add(1)
-		return failReads{Conn: c, remaining: &fails}, nil
+		return failReads{Conn: c, skip: &skip, remaining: &fails}, nil
 	}, &dials
 }
 
@@ -129,7 +138,7 @@ func TestClientPoisonsConnectionAfterFrameError(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	dialer, dials := lossyDialer(1)
+	dialer, dials := lossyDialer(2, 1)
 	c, err := DialOptions(srv.Addr(), ClientOptions{
 		Dialer:       dialer,
 		RetryBackoff: time.Millisecond,
@@ -140,8 +149,8 @@ func TestClientPoisonsConnectionAfterFrameError(t *testing.T) {
 	}
 	defer c.Close()
 
-	// First read fails: request doc1, lose the response. The retry must
-	// come back on a FRESH connection with the correct pairing.
+	// First post-handshake read fails: request doc1, lose the response. The
+	// retry must come back on a FRESH connection with the correct pairing.
 	doc, err := c.Get("models", "doc1")
 	if err != nil {
 		t.Fatalf("get through fault: %v", err)
@@ -177,7 +186,7 @@ func TestInsertRetryDoesNotDuplicate(t *testing.T) {
 	}
 	defer srv.Close()
 
-	dialer, _ := lossyDialer(1)
+	dialer, _ := lossyDialer(2, 1)
 	c, err := DialOptions(srv.Addr(), ClientOptions{
 		Dialer:       dialer,
 		RetryBackoff: time.Millisecond,

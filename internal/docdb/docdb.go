@@ -69,6 +69,12 @@ func NewID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// Matches reports whether doc satisfies all equality constraints in eq,
+// with the same comparison semantics every Store engine applies to Find.
+// It is exported for Store compositions (the shard router) that must filter
+// documents with engine-identical semantics outside this package.
+func Matches(doc, eq Document) bool { return matches(doc, eq) }
+
 // matches reports whether doc satisfies all equality constraints in eq.
 // Comparison is by fmt.Sprint rendering so numeric types that JSON decodes
 // differently (int vs float64) still compare equal.

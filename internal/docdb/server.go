@@ -23,6 +23,8 @@ var (
 	srvBytesIn   = obs.Default().Counter("docdb.server.bytes_in")
 	srvBytesOut  = obs.Default().Counter("docdb.server.bytes_out")
 	srvConns     = obs.Default().Gauge("docdb.server.conns")
+	srvInflight  = obs.Default().Gauge("docdb.server.inflight")
+	srvMuxConns  = obs.Default().Counter("docdb.server.mux_conns")
 )
 
 // dedupLimit bounds how many insert responses the server remembers for
@@ -85,15 +87,26 @@ type ServerOptions struct {
 	// wait in the listener backlog until a slot frees, keeping the
 	// goroutine count bounded no matter how many clients dial.
 	MaxConns int
+	// WorkersPerConn caps concurrently executing requests on one
+	// multiplexed (protocol v2) connection. A pipelined client can have
+	// arbitrarily many requests in flight; this bound keeps the server's
+	// goroutine count at MaxConns × WorkersPerConn worst case. Requests
+	// beyond the bound wait their turn in arrival order.
+	WorkersPerConn int
+	// DisableV2 refuses the protocol-v2 hello, forcing every connection
+	// onto the serial v1 contract. It exists so compatibility tests can
+	// stand in for an old server; there is no operational reason to set it.
+	DisableV2 bool
 }
 
 // Default per-connection discipline: generous enough that no legitimate
 // client (the repo's OpTimeout is seconds) ever hits it, finite so a wedged
 // peer cannot hold resources forever.
 const (
-	defaultIdleTimeout  = 2 * time.Minute
-	defaultWriteTimeout = 30 * time.Second
-	defaultMaxConns     = 256
+	defaultIdleTimeout    = 2 * time.Minute
+	defaultWriteTimeout   = 30 * time.Second
+	defaultMaxConns       = 256
+	defaultWorkersPerConn = 32
 )
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -105,6 +118,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.MaxConns <= 0 {
 		o.MaxConns = defaultMaxConns
+	}
+	if o.WorkersPerConn <= 0 {
+		o.WorkersPerConn = defaultWorkersPerConn
 	}
 	return o
 }
@@ -201,6 +217,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		<-s.sem
 		srvConns.Add(-1)
 	}()
+	first := true
 	for {
 		// Arm the read deadline per frame, mirroring the client's OpTimeout
 		// discipline (client.go): a peer that stalls mid-frame or idles
@@ -210,20 +227,93 @@ func (s *Server) serveConn(conn net.Conn) {
 		n, err := readFrame(conn, &req)
 		srvBytesIn.Add(int64(n))
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) &&
-				!errors.Is(err, os.ErrDeadlineExceeded) {
-				srvConnErrs.Inc()
-				obs.Warnf("docdb: connection error: %v", err)
+			s.logConnErr(err)
+			return
+		}
+		// A v2 client announces itself with a hello as the very first
+		// frame; accepting it switches this connection to the multiplexed
+		// contract. Anything else — including a refused hello — keeps the
+		// serial v1 contract, and a hello that reaches handle falls through
+		// to "unknown operation", which is exactly what a real v1 server
+		// answers and what tells the client to fall back.
+		if first && !s.opts.DisableV2 && req.Op == opHello && req.Version >= protocolV2 {
+			if !s.writeResp(conn, response{OK: true, Version: protocolV2, Seq: req.Seq}) {
+				return
 			}
+			srvMuxConns.Inc()
+			s.serveMux(conn)
 			return
 		}
+		first = false
 		resp := s.handle(req)
-		_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
-		n, err = writeFrame(conn, resp)
-		srvBytesOut.Add(int64(n))
-		if err != nil {
+		resp.Seq = req.Seq // harmless on true v1 peers: they ignore it
+		if !s.writeResp(conn, resp) {
 			return
 		}
+	}
+}
+
+// serveMux is the protocol-v2 connection loop: requests are dispatched to
+// worker goroutines as they arrive and responses are written as they
+// finish, in completion order, each echoing its request's correlation
+// sequence number. The worker semaphore bounds per-connection concurrency;
+// when it is full the read loop itself blocks on acquiring a slot, which
+// stops draining the socket and pushes backpressure onto the client.
+func (s *Server) serveMux(conn net.Conn) {
+	var (
+		wg  sync.WaitGroup
+		wmu sync.Mutex // serializes response frames onto the shared conn
+	)
+	workers := make(chan struct{}, s.opts.WorkersPerConn)
+	defer wg.Wait()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		var req request
+		n, err := readFrame(conn, &req)
+		srvBytesIn.Add(int64(n))
+		if err != nil {
+			s.logConnErr(err)
+			return
+		}
+		workers <- struct{}{} // bounded: slot acquired before the goroutine exists
+		wg.Add(1)
+		go func(req request) {
+			defer wg.Done()
+			defer func() { <-workers }()
+			srvInflight.Add(1)
+			resp := s.handle(req)
+			srvInflight.Add(-1)
+			resp.Seq = req.Seq
+			//mmlint:ignore lockheld responses from concurrent workers must not interleave on the shared conn; the write deadline armed under the lock bounds how long it is held
+			wmu.Lock()
+			ok := s.writeResp(conn, resp)
+			wmu.Unlock()
+			if !ok {
+				// The response stream is broken; closing the conn kicks the
+				// read loop out so the connection tears down as one unit.
+				//mmlint:ignore closecheck the write already failed and poisoned the stream; closing is how the read loop learns
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+// writeResp flushes one response frame under the write deadline, reporting
+// whether the connection is still usable.
+func (s *Server) writeResp(conn net.Conn, resp response) bool {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	n, err := writeFrame(conn, resp)
+	srvBytesOut.Add(int64(n))
+	return err == nil
+}
+
+// logConnErr records read-loop failures, staying quiet about the routine
+// ways a connection ends (peer closed, idle timeout, local shutdown).
+func (s *Server) logConnErr(err error) {
+	if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+		!errors.Is(err, os.ErrDeadlineExceeded) {
+		srvConnErrs.Inc()
+		obs.Warnf("docdb: connection error: %v", err)
 	}
 }
 

@@ -13,9 +13,26 @@ import (
 // is deliberately simple — what the reproduction needs from "MongoDB on a
 // third machine" is a real network boundary for metadata, not an efficient
 // binary protocol.
+//
+// Protocol v2 multiplexes one connection: every request carries a
+// correlation sequence number (Seq) that the server echoes on the matching
+// response, so responses may arrive out of order and many operations can be
+// in flight at once. A v2 session is negotiated by a "hello" request as the
+// first frame on a connection; peers that do not understand it keep the v1
+// contract — strictly serial, in-order request/response pairs — because JSON
+// decoding ignores the unknown fields either side may send.
 
 // maxFrame bounds a single message to guard against corrupt length prefixes.
 const maxFrame = 64 << 20 // 64 MiB
+
+// protocolV2 is the multiplexed protocol generation announced in the hello
+// handshake. Version 1 (implicit — no hello) is the serial protocol.
+const protocolV2 = 2
+
+// opHello is the in-band handshake operation. A v1 server answers it with
+// "unknown operation", which a v2 client reads as "speak v1 on this
+// connection".
+const opHello = "hello"
 
 type request struct {
 	Op         string   `json:"op"`
@@ -29,6 +46,12 @@ type request struct {
 	// executing it again, so a retry after a torn response frame cannot
 	// create a duplicate document.
 	ReqID string `json:"req_id,omitempty"`
+	// Seq is the v2 correlation identifier: unique per in-flight request on
+	// one connection, echoed on the response so the client's demultiplexer
+	// can pair them under out-of-order completion. Zero on v1 connections.
+	Seq uint64 `json:"seq,omitempty"`
+	// Version is carried by the hello request only.
+	Version int `json:"version,omitempty"`
 }
 
 type response struct {
@@ -39,6 +62,10 @@ type response struct {
 	Docs  []Document `json:"docs,omitempty"`
 	IDs   []string   `json:"ids,omitempty"`
 	Stats *Stats     `json:"stats,omitempty"`
+	// Seq echoes the request's correlation identifier on v2 connections.
+	Seq uint64 `json:"seq,omitempty"`
+	// Version is carried by the hello response only.
+	Version int `json:"version,omitempty"`
 }
 
 // writeFrame sends v as one frame through a single Write call and returns
@@ -49,17 +76,44 @@ type response struct {
 // frame's bytes as that body. One write either delivers a parseable
 // prefix-consistent frame or fails before anything usable is on the wire.
 func writeFrame(w io.Writer, v any) (int, error) {
+	msg, err := marshalFrame(v)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(msg)
+	return n, err
+}
+
+// marshalFrame encodes v into a complete frame (header plus body) ready for
+// a single Write. The mux client marshals on the requesting goroutine and
+// hands the finished frame to the writer goroutine, so an encoding error
+// surfaces at the caller and the writer never blocks on marshaling.
+func marshalFrame(v any) ([]byte, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return 0, fmt.Errorf("docdb: encoding frame: %w", err)
+		return nil, fmt.Errorf("docdb: encoding frame: %w", err)
 	}
 	if len(b) > maxFrame {
-		return 0, fmt.Errorf("docdb: frame of %d bytes exceeds limit", len(b))
+		return nil, fmt.Errorf("docdb: frame of %d bytes exceeds limit", len(b))
 	}
 	msg := make([]byte, 4+len(b))
 	binary.LittleEndian.PutUint32(msg[:4], uint32(len(b)))
 	copy(msg[4:], b)
-	n, err := w.Write(msg)
+	return msg, nil
+}
+
+// countingReader counts bytes consumed from the wrapped reader. The demux
+// reader uses it to tell a clean inter-frame timeout (zero bytes of the next
+// frame read — safe to rearm and keep the connection) from a mid-frame stall
+// (the stream is desynchronized and the connection must be poisoned).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
 	return n, err
 }
 

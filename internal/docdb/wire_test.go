@@ -120,7 +120,7 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.mu.Lock()
-	c.conn.Write([]byte(strings.Repeat("x", 64)))
+	c.mux.conn.Write([]byte(strings.Repeat("x", 64)))
 	c.mu.Unlock()
 	c.Close()
 

@@ -1,6 +1,8 @@
 package evalflow
 
 import (
+	"fmt"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -8,6 +10,7 @@ import (
 	"repro/internal/docdb"
 	"repro/internal/faultnet"
 	"repro/internal/filestore"
+	"repro/internal/shard"
 )
 
 // UseCases returns the flow's use-case labels in execution order, without
@@ -274,5 +277,88 @@ func FaultyDistributedProvider(filesDir string, fc faultnet.Config) (StoreProvid
 		return core.Stores{Meta: client, Files: files}, func() { client.Close() }, nil
 	}
 	cleanup := func() { srv.Close() }
+	return provider, cleanup, nil
+}
+
+// ShardedProvider starts one in-process document-database server and one
+// file-store directory per shard, and returns a StoreProvider whose
+// per-actor Stores route operations across the shards with a consistent-hash
+// ring (internal/shard), dialing a bounded client pool per metadata shard.
+// It is the scaled-out deployment: the paper's single MongoDB machine and
+// shared file system become N of each, transparently to the save services.
+func ShardedProvider(filesDir string, shards, poolSize int) (StoreProvider, func(), error) {
+	return shardedProvider(filesDir, shards, poolSize, docdb.ClientOptions{})
+}
+
+// FaultyShardedProvider is ShardedProvider over a flaky network: every
+// metadata connection to every shard misbehaves on fc's deterministic
+// schedule, and the pooled clients retry through it.
+func FaultyShardedProvider(filesDir string, shards, poolSize int, fc faultnet.Config) (StoreProvider, func(), error) {
+	return shardedProvider(filesDir, shards, poolSize, docdb.ClientOptions{
+		OpTimeout:    5 * time.Second,
+		MaxRetries:   10,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+		Dialer:       faultnet.Dialer(fc),
+	})
+}
+
+func shardedProvider(filesDir string, shards, poolSize int, opts docdb.ClientOptions) (StoreProvider, func(), error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	ring, err := shard.NewRing(shards, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	srvs := make([]*docdb.Server, 0, shards)
+	cleanup := func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	blobs := make([]filestore.Blobs, shards)
+	for i := 0; i < shards; i++ {
+		srv, err := docdb.NewServer(docdb.NewMemStore(), "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		srvs = append(srvs, srv)
+		fs, err := filestore.Open(filepath.Join(filesDir, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		blobs[i] = fs
+	}
+	files, err := shard.NewFiles(ring, blobs...)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	provider := func() (core.Stores, func(), error) {
+		pools := make([]docdb.Store, len(srvs))
+		for i, srv := range srvs {
+			p, err := docdb.DialPool(srv.Addr(), poolSize, opts)
+			if err != nil {
+				for _, q := range pools[:i] {
+					q.Close()
+				}
+				return core.Stores{}, nil, err
+			}
+			pools[i] = p
+		}
+		meta, err := shard.NewMeta(ring, pools...)
+		if err != nil {
+			for _, q := range pools {
+				q.Close()
+			}
+			return core.Stores{}, nil, err
+		}
+		// Closing the sharded store closes every pool; the servers belong
+		// to the provider-level cleanup.
+		return core.Stores{Meta: meta, Files: files}, func() { meta.Close() }, nil
+	}
 	return provider, cleanup, nil
 }

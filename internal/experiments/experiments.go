@@ -59,6 +59,14 @@ type Opts struct {
 	FaultRate float64
 	// FaultSeed seeds the deterministic fault schedule.
 	FaultSeed uint64
+	// Shards, when > 1, runs the distributed flows against a scaled-out
+	// metadata/file tier: that many in-process database servers and file
+	// directories behind a consistent-hash ring (internal/shard) instead
+	// of one of each.
+	Shards int
+	// PoolSize is the pipelined-connection pool size per metadata shard
+	// (0 = docdb.DefaultPoolSize).
+	PoolSize int
 	// RecoverCache equips the measured recovery sweeps (U4) with a
 	// recovery cache, so each chain prefix is recovered once per sweep.
 	RecoverCache bool
@@ -197,6 +205,7 @@ func Registry() map[string]Func {
 		"abl-workers":    AblationWorkers,
 		"abl-recover":    AblationRecover,
 		"abl-faults":     AblationFaults,
+		"abl-shards":     AblationShards,
 
 		// The serving-tier load generator (DESIGN.md §9).
 		"serve": Serve,
@@ -209,7 +218,7 @@ func Order() []string {
 		"tab1", "tab2", "fig2", "fig4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"tab3", "fig14", "fig15",
-		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers", "abl-recover", "abl-faults", "serve",
+		"abl-merkle", "abl-checksums", "abl-datasetref", "abl-adaptive", "abl-bandwidth", "abl-workers", "abl-recover", "abl-faults", "abl-shards", "serve",
 	}
 }
 

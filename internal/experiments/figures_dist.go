@@ -16,13 +16,20 @@ import (
 // — a deterministic flaky network whose seed varies per run so repeated
 // runs see different (but replayable) schedules.
 func distProvider(o Opts, dir string, run uint64) (evalflow.StoreProvider, func(), error) {
+	fc := faultnet.Config{
+		Seed: o.FaultSeed + run*0x9e3779b9,
+		Rate: o.FaultRate,
+	}
+	if o.Shards > 1 {
+		if o.FaultRate <= 0 {
+			return evalflow.ShardedProvider(dir, o.Shards, o.PoolSize)
+		}
+		return evalflow.FaultyShardedProvider(dir, o.Shards, o.PoolSize, fc)
+	}
 	if o.FaultRate <= 0 {
 		return evalflow.DistributedProvider(dir)
 	}
-	return evalflow.FaultyDistributedProvider(dir, faultnet.Config{
-		Seed: o.FaultSeed + run*0x9e3779b9,
-		Rate: o.FaultRate,
-	})
+	return evalflow.FaultyDistributedProvider(dir, fc)
 }
 
 // distFlow executes a distributed evaluation flow: an in-process document

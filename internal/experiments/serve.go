@@ -133,6 +133,76 @@ func Serve(w io.Writer, o Opts) error {
 		return err
 	}
 	fmt.Fprintln(w, "expected: cache-on p99 < cache-off p99; identical state hashes under every policy")
+	return serveColdStart(w, o, stores, ids[len(ids)-1], clients)
+}
+
+// serveColdStart measures the thundering herd: every client asks for the
+// same not-yet-cached model at the same instant, the load a fresh serving
+// process (or an eviction, or a deploy) sees. Without request coalescing
+// each concurrent miss walks the stores independently — N clients, N full
+// recoveries of one model. With the flight table the herd collapses to a
+// single recovery the followers wait on. The target is the chain's leaf,
+// the most expensive model in the repository to recover.
+func serveColdStart(w io.Writer, o Opts, stores core.Stores, id string, clients int) error {
+	fmt.Fprintln(w)
+	header(w, fmt.Sprintf("Serve cold start: %d clients, one cold model, coalescing off vs on", clients))
+	tw := newTab(w)
+	fmt.Fprintln(tw, "COALESCING\tWALL\tSTORE RECOVERIES\tCOALESCED\tP99")
+	var wantHash string
+	for _, enabled := range []bool{false, true} {
+		cache := core.NewRecoveryCache(0)
+		cache.SetCoalescing(enabled)
+		svc := core.NewParamUpdate(stores)
+		svc.SetRecoveryCache(cache)
+
+		lats := make([]time.Duration, clients)
+		hashes := make([]string, clients)
+		errs := make([]error, clients)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				t := time.Now()
+				rs, err := core.RecoverStateWith(o.ctx(), svc, id, core.RecoverOptions{VerifyChecksums: true})
+				lats[c] = time.Since(t)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				hashes[c] = rs.State.Hash()
+			}(c)
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		wall := time.Since(t0)
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("serve cold start: %w", err)
+			}
+		}
+		for _, h := range hashes {
+			if wantHash == "" {
+				wantHash = h
+			} else if h != wantHash {
+				return fmt.Errorf("serve cold start: coalescing changed a recovered state — it must be invisible to results")
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s := cache.Stats()
+		mode := "off"
+		if enabled {
+			mode = "on"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\n", mode, ms(wall), s.Misses, s.Coalesced, ms(lats[int(0.99*float64(len(lats)-1))]))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "expected: coalescing-on runs ~1 store recovery regardless of herd size; identical hashes")
 	return nil
 }
 

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docdb"
+	"repro/internal/evalflow"
+	"repro/internal/faultnet"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// The scale-out ablation: what the pipelined v2 wire protocol and the
+// consistent-hash shard layer each buy. Phase one isolates the protocol —
+// the same metadata workload against a v1 server (one request per round
+// trip) versus a multiplexed v2 connection versus a pooled fleet of them,
+// over a latency-only injected link where round trips are the cost that
+// matters. Phase two isolates the shard layer: bandwidth-throttled file
+// backends (the throttle models each backend's own link) behind 1, 2, and
+// 4 shards, saving and recovering the same models; aggregate bandwidth
+// scales with the shard count, so save+recover throughput must climb.
+
+// AblationShards runs both phases.
+func AblationShards(w io.Writer, o Opts) error {
+	if err := shardWirePhase(w, o); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return shardSweepPhase(w, o)
+}
+
+// wireWorkload hammers one store with concurrent put+get pairs and returns
+// achieved operations per second.
+func wireWorkload(store docdb.Store, workers, opsPerWorker int) (float64, error) {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < workers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			doc := docdb.Document{"worker": c, "payload": "0123456789abcdef"}
+			for j := 0; j < opsPerWorker; j++ {
+				id := fmt.Sprintf("w%d-%d", c, j)
+				if err := store.Put("bench", id, doc); err != nil {
+					errs[c] = err
+					return
+				}
+				if _, err := store.Get("bench", id); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(workers*opsPerWorker*2) / wall.Seconds(), nil
+}
+
+func shardWirePhase(w io.Writer, o Opts) error {
+	const (
+		workers      = 16
+		opsPerWorker = 12
+		linkDelay    = 400 * time.Microsecond
+	)
+	header(w, fmt.Sprintf("Ablation: wire protocol under a %s-per-op link (%d workers × %d put+get)", linkDelay, workers, opsPerWorker))
+
+	// Latency only, no hard faults: the regime where the protocol's round
+	// trips — not retries — are the measured cost.
+	opts := docdb.ClientOptions{Dialer: faultnet.Dialer(faultnet.Config{
+		Seed:      o.FaultSeed + 1,
+		DelayRate: 1,
+		Delay:     linkDelay,
+	})}
+
+	newV1Server := func() (*docdb.Server, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		return docdb.NewServerWith(docdb.NewMemStore(), ln, docdb.ServerOptions{DisableV2: true}), nil
+	}
+
+	type row struct {
+		name string
+		run  func() (float64, error)
+	}
+	rows := []row{
+		{"v1-serial", func() (float64, error) {
+			srv, err := newV1Server()
+			if err != nil {
+				return 0, err
+			}
+			defer srv.Close()
+			c, err := docdb.DialOptions(srv.Addr(), opts)
+			if err != nil {
+				return 0, err
+			}
+			defer c.Close()
+			return wireWorkload(c, workers, opsPerWorker)
+		}},
+		{"v2-pipelined", func() (float64, error) {
+			srv, err := docdb.NewServer(docdb.NewMemStore(), "127.0.0.1:0")
+			if err != nil {
+				return 0, err
+			}
+			defer srv.Close()
+			c, err := docdb.DialOptions(srv.Addr(), opts)
+			if err != nil {
+				return 0, err
+			}
+			defer c.Close()
+			return wireWorkload(c, workers, opsPerWorker)
+		}},
+		{"v2-pooled", func() (float64, error) {
+			srv, err := docdb.NewServer(docdb.NewMemStore(), "127.0.0.1:0")
+			if err != nil {
+				return 0, err
+			}
+			defer srv.Close()
+			p, err := docdb.DialPool(srv.Addr(), o.PoolSize, opts)
+			if err != nil {
+				return 0, err
+			}
+			defer p.Close()
+			return wireWorkload(p, workers, opsPerWorker)
+		}},
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "PROTOCOL\tOPS/S\tVS V1")
+	var base float64
+	for _, r := range rows {
+		qps, err := r.run()
+		if err != nil {
+			return fmt.Errorf("abl-shards wire %s: %w", r.name, err)
+		}
+		if base == 0 {
+			base = qps
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.1fx\n", r.name, qps, qps/base)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "expected: pipelining overlaps request and response latency; pooling multiplies it by the conn count")
+	return nil
+}
+
+func shardSweepPhase(w io.Writer, o Opts) error {
+	const actors = 8
+	arch := o.archs(models.MobileNetV2Name)[0]
+
+	// The same nets at every shard count, so the sweep moves identical
+	// bytes and any throughput change is the topology's.
+	nets := make([]nn.Module, actors)
+	var totalBytes int64
+	for i := range nets {
+		net, err := models.New(arch, 1000, uint64(61+i))
+		if err != nil {
+			return err
+		}
+		nets[i] = net
+		totalBytes += nn.StateDictOf(net).SerializedSize()
+	}
+	// Each backend's own link carries the whole payload in ~1s, so the
+	// single-shard row takes about a second and the sweep's shape — not
+	// the absolute model size — sets the runtime.
+	perStoreBW := totalBytes
+	header(w, fmt.Sprintf("Ablation: shard sweep (%d %s saves + recovers, %s/s per file backend)", actors, arch, mb(perStoreBW)))
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "SHARDS\tSAVE\tRECOVER\tSAVE+RECOVER\tMODELS/S")
+	for _, shards := range []int{1, 2, 4} {
+		tmp, err := mkWorkDir(o.WorkDir)
+		if err != nil {
+			return err
+		}
+		saveW, recW, err := runShardSweep(o, tmp.path, shards, perStoreBW, nets)
+		tmp.cleanup()
+		if err != nil {
+			return fmt.Errorf("abl-shards sweep %d: %w", shards, err)
+		}
+		total := saveW + recW
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%.2f\n", shards, ms(saveW), ms(recW), ms(total),
+			float64(2*actors)/total.Seconds())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "expected: save+recover throughput climbs with the shard count (aggregate backend bandwidth scales)")
+	return nil
+}
+
+// runShardSweep saves every net concurrently through a sharded deployment,
+// then recovers them all concurrently, and returns the two wall times.
+// Recovered states are hash-checked against the saved nets: scaling out
+// must never change results.
+func runShardSweep(o Opts, dir string, shards int, perStoreBW int64, nets []nn.Module) (saveWall, recoverWall time.Duration, err error) {
+	provider, cleanup, err := evalflow.ShardedProvider(dir, shards, o.PoolSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	stores, release, err := provider()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer release()
+	stores.Files.SetBandwidth(perStoreBW)
+
+	ba := core.NewBaseline(stores)
+	spec := models.Spec{Arch: o.archs(models.MobileNetV2Name)[0], NumClasses: 1000}
+	ids := make([]string, len(nets))
+	errs := make([]error, len(nets))
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < len(nets); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ba.Save(core.SaveInfo{Spec: spec, Net: nets[i], WithChecksums: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = res.ID
+		}(i)
+	}
+	wg.Wait()
+	saveWall = time.Since(t0)
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+
+	t1 := time.Now()
+	for i := 0; i < len(nets); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := ba.RecoverState(ids[i], core.RecoverOptions{VerifyChecksums: true, NoCache: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rs.State.Hash() != nn.StateDictOf(nets[i]).Hash() {
+				errs[i] = fmt.Errorf("shard sweep: recovered state differs from saved net %d", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	recoverWall = time.Since(t1)
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	return saveWall, recoverWall, nil
+}

@@ -46,6 +46,12 @@ type Config struct {
 	// Delays are injected at half the configured Rate on top of the hard
 	// faults, modeling a slow-but-working link.
 	Delay time.Duration
+	// DelayRate, when > 0, overrides the delay probability (Rate/2 by
+	// default). With Rate zero it yields a latency-only schedule —
+	// Config{DelayRate: 1, Delay: rtt} models a slow but reliable link,
+	// the regime where a pipelined protocol's advantage over
+	// one-request-per-round-trip is measurable.
+	DelayRate float64
 	// Stats, when non-nil, counts the faults every wrapped connection
 	// injects. Tests use it to prove the harness actually engaged.
 	Stats *Stats
@@ -169,22 +175,40 @@ func (c *Conn) Read(b []byte) (int, error) {
 		c.mu.Unlock()
 		return 0, err
 	}
-	c.maybeDelay()
+	sleep := c.rollDelay()
 	c.mu.Unlock()
-	// The read itself happens outside the schedule lock: a blocking read
-	// must not serialize against concurrent writes on the same conn.
+	// The read itself — and its injected propagation delay — happens
+	// outside the schedule lock: a blocking (or slow) read must not
+	// serialize against concurrent writes on the same conn.
+	if sleep {
+		time.Sleep(c.cfg.Delay)
+	}
 	return c.Conn.Read(b)
 }
 
-// maybeDelay injects latency at half the fault rate. Callers hold c.mu.
+// maybeDelay injects write-side latency. Callers hold c.mu; the sleep
+// stays under the lock because writes are serialized anyway.
 func (c *Conn) maybeDelay() {
-	if c.cfg.Rate > 0 && c.r.chance(c.cfg.Rate/2) {
-		mDelays.Inc()
-		if c.cfg.Stats != nil {
-			c.cfg.Stats.Delays.Add(1)
-		}
+	if c.rollDelay() {
 		time.Sleep(c.cfg.Delay)
 	}
+}
+
+// rollDelay rolls the delay schedule and counts a hit. Callers hold c.mu,
+// keeping the roll sequence deterministic.
+func (c *Conn) rollDelay() bool {
+	p := c.cfg.DelayRate
+	if p == 0 {
+		p = c.cfg.Rate / 2
+	}
+	if !c.r.chance(p) {
+		return false
+	}
+	mDelays.Inc()
+	if c.cfg.Stats != nil {
+		c.cfg.Stats.Delays.Add(1)
+	}
+	return true
 }
 
 // Listener wraps a net.Listener so every accepted connection carries its

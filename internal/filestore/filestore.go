@@ -58,6 +58,9 @@ type Store struct {
 	mu   sync.RWMutex
 	// bytesPerSecond throttles reads and writes when > 0.
 	bytesPerSecond int64
+	// uplink paces all throttled streams together: the bandwidth limit is
+	// the store's link, not each transfer's.
+	uplink link
 }
 
 // Open opens (creating if necessary) a file store rooted at dir.
@@ -69,9 +72,9 @@ func Open(dir string) (*Store, error) {
 }
 
 // SetBandwidth limits subsequent reads and writes to approximately
-// bytesPerSecond. Zero or negative removes the limit. The throttle models
-// the "transfer with limited available bandwidth" scenario of the paper's
-// introduction.
+// bytesPerSecond in aggregate: concurrent transfers share the limit, like
+// flows sharing one link. The throttle models the "transfer with limited
+// available bandwidth" scenario of the paper's introduction.
 func (s *Store) SetBandwidth(bytesPerSecond int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -124,7 +127,7 @@ func (s *Store) SaveAs(id string, r io.Reader) (int64, string, error) {
 		return 0, "", err
 	}
 	if bw := s.bandwidth(); bw > 0 {
-		r = Throttle(r, bw)
+		r = &linkReader{r: r, l: &s.uplink, bps: bw}
 	}
 	f, err := os.CreateTemp(s.root, id+".*.tmp")
 	if err != nil {
@@ -177,7 +180,7 @@ func (s *Store) Open(id string) (io.ReadCloser, error) {
 		return nil, fmt.Errorf("filestore: opening blob: %w", err)
 	}
 	if bw := s.bandwidth(); bw > 0 {
-		return &throttledReadCloser{r: Throttle(f, bw), c: f}, nil
+		return &throttledReadCloser{r: &linkReader{r: f, l: &s.uplink, bps: bw}, c: f}, nil
 	}
 	return f, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -54,3 +55,52 @@ type throttledReadCloser struct {
 
 func (t *throttledReadCloser) Read(p []byte) (int, error) { return t.r.Read(p) }
 func (t *throttledReadCloser) Close() error               { return t.c.Close() }
+
+// link is a store's emulated backend link: one pacing clock shared by every
+// throttled stream of the store, so concurrent transfers split the
+// configured bandwidth the way flows share a real NIC. Where the
+// per-stream Throttle above paces each reader independently (N streams
+// carry N×rate in aggregate), the link paces the store's total — which is
+// what a sharded deployment's "every backend has its own uplink" model
+// requires: doubling the shard count doubles aggregate bandwidth, keeping
+// one store's rate fixed does not.
+type link struct {
+	mu   sync.Mutex
+	free time.Time // when the link next has spare capacity
+}
+
+// wait blocks until the link has carried n more bytes at rate bps.
+func (l *link) wait(n, bps int64) {
+	if bps <= 0 || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	now := time.Now()
+	if l.free.Before(now) {
+		l.free = now
+	}
+	l.free = l.free.Add(time.Duration(float64(n) / float64(bps) * float64(time.Second)))
+	wake := l.free
+	l.mu.Unlock()
+	if d := time.Until(wake); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// linkReader paces reads through a store's shared link.
+type linkReader struct {
+	r   io.Reader
+	l   *link
+	bps int64
+}
+
+func (t *linkReader) Read(p []byte) (int, error) {
+	// Cap single reads to a 16 KiB quantum so concurrent streams
+	// interleave smoothly instead of trading whole blobs.
+	if len(p) > 16<<10 {
+		p = p[:16<<10]
+	}
+	n, err := t.r.Read(p)
+	t.l.wait(int64(n), t.bps)
+	return n, err
+}

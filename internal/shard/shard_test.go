@@ -1,0 +1,286 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"repro/internal/docdb"
+	"repro/internal/filestore"
+	"repro/internal/shard"
+)
+
+func newMeta(t *testing.T, shards int) *shard.Meta {
+	t.Helper()
+	ring, err := shard.NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := make([]docdb.Store, shards)
+	for i := range backends {
+		backends[i] = docdb.NewMemStore()
+	}
+	m, err := shard.NewMeta(ring, backends...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newFiles(t *testing.T, shards int) *shard.Files {
+	t.Helper()
+	ring, err := shard.NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]filestore.Blobs, shards)
+	for i := range stores {
+		fs, err := filestore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = fs
+	}
+	f, err := shard.NewFiles(ring, stores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestMetaMatchesSingleBackend mirrors the same operation sequence into a
+// sharded store and a plain MemStore and requires identical observable
+// behavior: the shard layer must be invisible through the Store interface.
+func TestMetaMatchesSingleBackend(t *testing.T) {
+	m := newMeta(t, 4)
+	ref := docdb.NewMemStore()
+
+	const n = 40
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		doc := docdb.Document{"i": i, "tier": fmt.Sprintf("t%d", i%3)}
+		id, err := m.Insert("models", doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Put("models", id, doc); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	for _, id := range ids {
+		got, err := m.Get("models", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Get("models", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("doc %s: sharded %v != reference %v", id, got, want)
+		}
+	}
+
+	// IDs must come back in the reference's lexicographic order even
+	// though four shards listed them independently.
+	gotIDs, err := m.IDs("models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, err := ref.IDs("models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(gotIDs) {
+		t.Fatal("sharded IDs not sorted")
+	}
+	if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+		t.Fatalf("IDs differ:\nsharded:   %v\nreference: %v", gotIDs, wantIDs)
+	}
+
+	// Find through the sharded store must agree with the reference.
+	got, err := m.Find("models", docdb.Document{"tier": "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Find("models", docdb.Document{"tier": "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Find returned %d docs, reference %d", len(got), len(want))
+	}
+
+	// Deletes route to the same owner a Get computes.
+	for _, id := range ids[:10] {
+		if err := m.Delete("models", id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Get("models", id); !errors.Is(err, docdb.ErrNotFound) {
+			t.Fatalf("Get after Delete: %v", err)
+		}
+	}
+	if err := m.Delete("models", "never-existed"); !errors.Is(err, docdb.ErrNotFound) {
+		t.Fatalf("Delete of missing doc: %v", err)
+	}
+}
+
+// TestMetaStatsAggregates: documents and bytes sum across shards while the
+// collection count does not multiply by the shard count.
+func TestMetaStatsAggregates(t *testing.T) {
+	m := newMeta(t, 4)
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert("models", docdb.Document{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Insert("environments", docdb.Document{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 2*n {
+		t.Fatalf("documents = %d, want %d", st.Documents, 2*n)
+	}
+	if st.Collections > 2 || st.Collections < 1 {
+		t.Fatalf("collections = %d, want <= 2 (must not multiply by shard count)", st.Collections)
+	}
+	if st.SizeBytes <= 0 {
+		t.Fatalf("size = %d", st.SizeBytes)
+	}
+}
+
+// TestFilesRoundTrip exercises the Blobs surface over four shards: every
+// read path must find the blob its write path placed.
+func TestFilesRoundTrip(t *testing.T) {
+	f := newFiles(t, 4)
+
+	const n = 24
+	type blob struct {
+		id   string
+		body []byte
+		hash string
+	}
+	blobs := make([]blob, n)
+	for i := range blobs {
+		body := bytes.Repeat([]byte{byte('a' + i%26)}, 100+i)
+		id, size, hash, err := f.SaveBytes(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != int64(len(body)) {
+			t.Fatalf("size = %d, want %d", size, len(body))
+		}
+		blobs[i] = blob{id: id, body: body, hash: hash}
+	}
+
+	for _, b := range blobs {
+		if !f.Exists(b.id) {
+			t.Fatalf("blob %s missing", b.id)
+		}
+		got, err := f.ReadAll(b.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, b.body) {
+			t.Fatalf("blob %s content mismatch", b.id)
+		}
+		rc, err := f.Open(b.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil || !bytes.Equal(streamed, b.body) {
+			t.Fatalf("streamed read of %s mismatch (err %v)", b.id, err)
+		}
+		hash, err := f.Hash(b.id)
+		if err != nil || hash != b.hash {
+			t.Fatalf("hash of %s = %s want %s (err %v)", b.id, hash, b.hash, err)
+		}
+		size, err := f.Size(b.id)
+		if err != nil || size != int64(len(b.body)) {
+			t.Fatalf("size of %s = %d want %d (err %v)", b.id, size, len(b.body), err)
+		}
+		m, err := f.OpenMapped(b.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m.Bytes(), b.body) {
+			t.Fatalf("mapped read of %s mismatch", b.id)
+		}
+		m.Close()
+	}
+
+	// List merges every shard's blobs into one sorted listing.
+	ids, err := f.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != n {
+		t.Fatalf("List returned %d ids, want %d", len(ids), n)
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatal("List not sorted")
+	}
+
+	st, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, b := range blobs {
+		total += int64(len(b.body))
+	}
+	if st.Blobs != n || st.SizeBytes != total {
+		t.Fatalf("stats = %+v, want %d blobs / %d bytes", st, n, total)
+	}
+
+	// Deletes route to the writing shard; missing blobs report ErrNotFound.
+	for _, b := range blobs[:5] {
+		if err := f.Delete(b.id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ReadAll(b.id); !errors.Is(err, filestore.ErrNotFound) {
+			t.Fatalf("read after delete: %v", err)
+		}
+	}
+	if err := f.Delete(filestore.NewID()); !errors.Is(err, filestore.ErrNotFound) {
+		t.Fatalf("delete of missing blob: %v", err)
+	}
+}
+
+// TestFilesSaveAsIsIdempotentlyRouted: SaveAs with the same id always
+// lands on the same shard, so an overwrite replaces rather than forks.
+func TestFilesSaveAsIsIdempotentlyRouted(t *testing.T) {
+	f := newFiles(t, 4)
+	id := filestore.NewID()
+	if _, _, err := f.SaveAs(id, bytes.NewReader([]byte("first"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.SaveAs(id, bytes.NewReader([]byte("second"))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q, want overwrite", got)
+	}
+	ids, err := f.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("overwrite forked the blob across shards: %v", ids)
+	}
+}

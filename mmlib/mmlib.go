@@ -40,6 +40,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/probe"
+	"repro/internal/shard"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -149,6 +150,60 @@ func ConnectStores(dbAddr, filesDir string) (Stores, error) {
 	files, err := filestore.Open(filesDir)
 	if err != nil {
 		meta.Close()
+		return Stores{}, err
+	}
+	return Stores{Meta: meta, Files: files}, nil
+}
+
+// ConnectShardedStores connects to a fleet of document-database servers and
+// file-store directories, routing operations across them with a
+// consistent-hash ring — the scaled-out deployment where the paper's single
+// metadata machine and shared file system become N of each. dbAddrs and
+// filesDirs must be the same length and, critically, in the same order on
+// every process that shares the deployment: the ring routes by position.
+// Each metadata shard is dialed through a pool of poolSize pipelined
+// connections (<= 0 selects the default size).
+func ConnectShardedStores(dbAddrs, filesDirs []string, poolSize int) (Stores, error) {
+	if len(dbAddrs) != len(filesDirs) {
+		return Stores{}, fmt.Errorf("mmlib: %d database addresses but %d file directories", len(dbAddrs), len(filesDirs))
+	}
+	ring, err := shard.NewRing(len(dbAddrs), 0)
+	if err != nil {
+		return Stores{}, err
+	}
+	pools := make([]docdb.Store, len(dbAddrs))
+	closeAll := func() {
+		for _, p := range pools {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}
+	for i, addr := range dbAddrs {
+		p, err := docdb.DialPool(addr, poolSize, docdb.ClientOptions{})
+		if err != nil {
+			closeAll()
+			return Stores{}, err
+		}
+		pools[i] = p
+	}
+	meta, err := shard.NewMeta(ring, pools...)
+	if err != nil {
+		closeAll()
+		return Stores{}, err
+	}
+	blobs := make([]filestore.Blobs, len(filesDirs))
+	for i, dir := range filesDirs {
+		fs, err := filestore.Open(dir)
+		if err != nil {
+			closeAll()
+			return Stores{}, err
+		}
+		blobs[i] = fs
+	}
+	files, err := shard.NewFiles(ring, blobs...)
+	if err != nil {
+		closeAll()
 		return Stores{}, err
 	}
 	return Stores{Meta: meta, Files: files}, nil

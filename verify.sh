@@ -24,10 +24,10 @@ go run ./cmd/mmlint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/docdb ./internal/evalflow ./internal/filestore ./internal/faultnet ./internal/train ./internal/tensor ./internal/nn ./internal/merkle ./internal/core ./internal/crashtest ./internal/obs"
-go test -race ./internal/docdb ./internal/evalflow ./internal/filestore ./internal/faultnet ./internal/train ./internal/tensor ./internal/nn ./internal/merkle ./internal/core ./internal/crashtest ./internal/obs
+echo "==> go test -race ./internal/docdb ./internal/shard ./internal/evalflow ./internal/filestore ./internal/faultnet ./internal/train ./internal/tensor ./internal/nn ./internal/merkle ./internal/core ./internal/crashtest ./internal/obs"
+go test -race ./internal/docdb ./internal/shard ./internal/evalflow ./internal/filestore ./internal/faultnet ./internal/train ./internal/tensor ./internal/nn ./internal/merkle ./internal/core ./internal/crashtest ./internal/obs
 
 echo "==> go test -bench smoke (hot-path benchmarks, one iteration)"
-go test -run '^$' -bench 'BenchmarkStateDictHashWorkers|BenchmarkStateDictSerialize$|BenchmarkStateDictDeserializeWorkers|BenchmarkBARecoverChecksums|BenchmarkPUARecoverChecksums|BenchmarkRecoverStateHit|BenchmarkServe$' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkStateDictHashWorkers|BenchmarkStateDictSerialize$|BenchmarkStateDictDeserializeWorkers|BenchmarkBARecoverChecksums|BenchmarkPUARecoverChecksums|BenchmarkRecoverStateHit|BenchmarkShardedSaveRecover$|BenchmarkServe$' -benchtime 1x .
 
 echo "verify: all gates green"
